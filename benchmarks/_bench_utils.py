@@ -1,0 +1,25 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.report import ExperimentResult
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_result(result: ExperimentResult) -> ExperimentResult:
+    """Print a paper-style result table and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{result.experiment_id.lower()}.md")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result.to_markdown())
+    print()
+    print(result.render())
+    return result
+
+
+def run_once(benchmark, func):
+    """Run a deterministic full-scenario benchmark exactly once."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,87 @@
+"""E3 -- NF density per host: containers vs VMs.
+
+Paper claims: containers allow "a much higher network function-to-host
+density and smaller footprint"; "commodity compute devices ... are now able
+to host up to hundreds of NFs"; VM-based NFV cannot be deployed on low-end
+edge devices at all.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import record_result, run_once
+
+from repro.analysis.report import ExperimentResult
+from repro.baselines.vm_nfv import VMNFVBaseline
+from repro.containers.cgroups import AdmissionError, ResourceAccount
+from repro.containers.runtime import ContainerRuntime, RuntimeTimings
+from repro.core.repository import NFRepository
+from repro.netem.simulator import Simulator
+from repro.netem.topology import StationProfile
+
+NF_TYPE = "firewall"
+
+
+def _container_density(profile: StationProfile) -> int:
+    simulator = Simulator()
+    repository = NFRepository.with_default_catalog()
+    resources = ResourceAccount(
+        cpu_mhz=profile.cpu_mhz,
+        memory_mb=profile.memory_mb,
+        system_reserved_mb=min(48.0, profile.memory_mb * 0.3),
+    )
+    runtime = ContainerRuntime(
+        simulator,
+        name=f"density-{profile.name}",
+        resources=resources,
+        registry=repository.registry,
+        timings=RuntimeTimings.for_station_profile(profile.name),
+    )
+    image, _ = runtime.ensure_image(repository.lookup(NF_TYPE).image_reference)
+    count = 0
+    while True:
+        try:
+            runtime.create(image, f"{NF_TYPE}-{count}")
+            count += 1
+        except AdmissionError:
+            return count
+
+
+def _vm_density(profile: StationProfile) -> int:
+    simulator = Simulator()
+    return VMNFVBaseline(simulator, profile=profile).max_density(NF_TYPE)
+
+
+def _run_experiment():
+    rows = []
+    for profile in (StationProfile.router_class(), StationProfile.server_class()):
+        containers = _container_density(profile)
+        vms = _vm_density(profile)
+        rows.append([profile.name, f"{profile.memory_mb:.0f} MB RAM", containers, vms,
+                     containers / vms if vms else float("inf")])
+    return rows
+
+
+def test_e3_nf_density_per_host(benchmark, record_experiment):
+    rows = run_once(benchmark, _run_experiment)
+    result = ExperimentResult(
+        experiment_id="E3",
+        title="NF density per host -- containers vs VMs (firewall NF)",
+        headers=["host class", "memory", "container NFs", "VM NFs", "container/VM ratio"],
+        paper_claim=(
+            "Containers allow a much higher NF-to-host density; commodity devices can host "
+            "up to hundreds of NFs, while VMs do not even fit on low-end devices"
+        ),
+    )
+    for row in rows:
+        result.add_row(*row)
+    record_experiment(result)
+
+    router_row = next(row for row in rows if row[0] == "router-class")
+    server_row = next(row for row in rows if row[0] == "server-class")
+    # Router-class devices host several container NFs but zero VMs.
+    assert router_row[2] >= 5
+    assert router_row[3] == 0
+    # Server-class hosts reach hundreds of containers and an order of magnitude fewer VMs.
+    assert server_row[2] >= 100
+    assert server_row[3] > 0
+    assert server_row[2] > 10 * server_row[3]

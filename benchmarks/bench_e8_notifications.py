@@ -1,0 +1,95 @@
+"""E8 -- NF notifications relayed from the edge to the Manager.
+
+Paper claim: "individual NFs can relay notifications through their local
+Agent to the Manager, informing the provider about events that should be
+reviewed such as ... an intrusion attempt or detected malware".  This
+experiment deploys an IDS per client, injects malware-tagged and port-scan
+traffic, and measures delivery completeness and latency at the Manager.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import run_once
+
+from repro.analysis.report import ExperimentResult
+from repro.analysis.stats import mean, percentile
+from repro.core.testbed import GNFTestbed, TestbedConfig
+from repro.netem import packet as pkt
+from repro.netem.trafficgen import CBRTrafficGenerator
+
+
+def _run_experiment(client_count: int = 4, malware_packets_per_client: int = 3):
+    testbed = GNFTestbed(TestbedConfig(station_count=2))
+    clients = []
+    for index in range(client_count):
+        station_index = index % 2
+        clients.append(
+            testbed.add_client(f"client-{index}", position=(station_index * 80.0, 0.0))
+        )
+    testbed.start()
+    testbed.run(1.0)
+    for client in clients:
+        testbed.manager.attach_nf(
+            client.ip, "ids", config={"malware_signatures": ["EICAR"], "port_scan_threshold": 15}
+        )
+    testbed.run(8.0)
+
+    # Background traffic plus injected attack traffic.
+    generators = [
+        CBRTrafficGenerator(testbed.simulator, client, server_ip=testbed.server_ip, rate_pps=10).start()
+        for client in clients
+    ]
+    injected = 0
+    for client in clients:
+        for index in range(malware_packets_per_client):
+            bad = pkt.make_tcp_packet(client.ip, testbed.server_ip, 41000 + index, 80)
+            bad.metadata["payload_signature"] = "EICAR"
+            testbed.simulator.schedule(2.0 + index * 0.5, client.send_packet, bad)
+            injected += 1
+        # A port scan from the first client only.
+    scanner = clients[0]
+    for port in range(1, 30):
+        probe = pkt.make_tcp_packet(scanner.ip, testbed.server_ip, 42000, port, syn=True)
+        testbed.simulator.schedule(4.0 + port * 0.05, scanner.send_packet, probe)
+    testbed.run(20.0)
+    for generator in generators:
+        generator.stop()
+
+    notifications = testbed.manager.notifications
+    malware = [n for n in notifications.all() if "malware" in n.message]
+    scans = [n for n in notifications.all() if "port scan" in n.message]
+    latencies = [n.delivery_latency_s for n in notifications.all()]
+    return {
+        "clients": client_count,
+        "malware_injected": injected,
+        "malware_alerts": len(malware),
+        "port_scan_alerts": len(scans),
+        "total_notifications": len(notifications),
+        "mean_delivery_latency_s": mean(latencies),
+        "p95_delivery_latency_s": percentile(latencies, 95.0),
+        "stations_reporting": len({n.station_name for n in notifications.all()}),
+    }
+
+
+def test_e8_nf_notifications(benchmark, record_experiment):
+    outcome = run_once(benchmark, _run_experiment)
+    result = ExperimentResult(
+        experiment_id="E8",
+        title="NF -> Agent -> Manager notifications: completeness and delivery latency",
+        headers=["metric", "value"],
+        paper_claim=(
+            "NFs relay notifications through their local Agent to the Manager "
+            "(intrusion attempts, detected malware)"
+        ),
+    )
+    for key, value in outcome.items():
+        result.add_row(key, value)
+    record_experiment(result)
+
+    # Every injected malware packet produced exactly one alert at the Manager,
+    # the port scan was flagged once, and delivery latency is control-plane
+    # scale (tens of milliseconds), not seconds.
+    assert outcome["malware_alerts"] == outcome["malware_injected"]
+    assert outcome["port_scan_alerts"] == 1
+    assert outcome["stations_reporting"] == 2
+    assert outcome["mean_delivery_latency_s"] < 0.1

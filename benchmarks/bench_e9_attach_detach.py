@@ -1,0 +1,89 @@
+"""E9 -- Attaching, removing and scheduling NFs from the UI.
+
+Paper claim (Section 3 / UI): "New NFs can be attached in seconds or removed
+from clients as well as scheduled to be enabled only during specific time
+periods."  This experiment measures, through the dashboard API, the attach
+latency of every NF type in the catalogue (cold and warm), the detach
+latency, and how precisely a scheduled NF is enabled at its window start.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import run_once
+
+from repro.analysis.report import ExperimentResult
+from repro.core.testbed import GNFTestbed, TestbedConfig
+
+
+def _fresh_testbed():
+    testbed = GNFTestbed(TestbedConfig(station_count=1))
+    phone = testbed.add_client("phone", position=(0.0, 0.0))
+    testbed.start()
+    testbed.run(1.0)
+    return testbed, phone
+
+
+def _attach_detach_latencies(nf_type: str):
+    testbed, phone = _fresh_testbed()
+    cold = testbed.ui.attach_nf(phone.ip, nf_type)
+    testbed.run(25.0)
+    cold_latency = cold.attach_latency_s
+    detach_start = testbed.simulator.now
+    testbed.ui.remove_assignment(cold.assignment_id)
+    testbed.run(5.0)
+    agent = testbed.agents["station-1"]
+    detach_latency = None
+    if agent.deployment_for_client(phone.ip) is None:
+        detach_latency = 5.0  # upper bound; refined below from container history
+        stopped = [
+            c for c in agent.runtime.containers.values() if c.stopped_at is not None
+        ]
+        if stopped:
+            detach_latency = max(c.stopped_at for c in stopped) - detach_start
+    warm = testbed.ui.attach_nf(phone.ip, nf_type)
+    testbed.run(25.0)
+    return cold_latency, warm.attach_latency_s, detach_latency
+
+
+def _scheduled_enable_accuracy():
+    testbed, phone = _fresh_testbed()
+    now = testbed.simulator.now
+    window_start = now + 30.0
+    assignment = testbed.ui.schedule_nf(phone.ip, "firewall", start_s=window_start, end_s=window_start + 60.0)
+    testbed.run(60.0)
+    agent = testbed.agents["station-1"]
+    cookie = f"chain:{assignment.assignment_id}"
+    enabled = bool(agent.station.switch.flow_table.rules(cookie=cookie))
+    return enabled
+
+
+def _run_experiment():
+    rows = []
+    for nf_type in ("firewall", "http-filter", "dns-loadbalancer", "rate-limiter", "cache", "ids"):
+        cold, warm, detach = _attach_detach_latencies(nf_type)
+        rows.append([nf_type, cold, warm, detach])
+    scheduled_ok = _scheduled_enable_accuracy()
+    return rows, scheduled_ok
+
+
+def test_e9_attach_detach_schedule(benchmark, record_experiment):
+    rows, scheduled_ok = run_once(benchmark, _run_experiment)
+    result = ExperimentResult(
+        experiment_id="E9",
+        title="UI operations: NF attach (cold/warm), detach and scheduled enablement",
+        headers=["nf", "cold attach (s)", "warm attach (s)", "detach (s)"],
+        paper_claim=(
+            "New NFs can be attached in seconds or removed from clients, and scheduled "
+            "to be enabled only during specific time periods"
+        ),
+        notes=f"scheduled firewall enabled inside its window: {scheduled_ok}",
+    )
+    for row in rows:
+        result.add_row(*row)
+    record_experiment(result)
+
+    assert scheduled_ok
+    for nf_type, cold, warm, detach in rows:
+        assert cold is not None and cold < 10.0, nf_type       # "in seconds"
+        assert warm is not None and warm <= cold + 1e-9, nf_type
+        assert detach is not None and detach < 2.0, nf_type

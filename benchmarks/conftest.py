@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module reproduces one experiment from DESIGN.md (E1..E9),
+prints the paper-style result table and writes it to
+``benchmarks/results/<experiment>.md`` so the numbers reported in
+EXPERIMENTS.md can be regenerated at any time.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Make _bench_utils importable regardless of how pytest inserts paths.
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _bench_utils import record_result  # noqa: E402
+
+
+@pytest.fixture
+def record_experiment():
+    """Return a callable that prints and persists an ExperimentResult."""
+    return record_result

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Provider's view: a busy multi-station edge deployment with roaming users,
+an intrusion raising notifications, hotspot detection and the dashboard the
+demo UI would render.
+
+Run with::
+
+    python examples/edge_dashboard.py
+"""
+
+from __future__ import annotations
+
+from repro import GNFTestbed, TestbedConfig
+from repro.netem import packet as pkt
+from repro.netem.trafficgen import CBRTrafficGenerator, HTTPWorkloadGenerator
+from repro.wireless.mobility import CommuterMobility, StaticMobility
+
+
+def main() -> None:
+    testbed = GNFTestbed(TestbedConfig(station_count=3, migration_strategy="precopy"))
+
+    # Three users: two pinned near their home stations, one commuting.
+    home = testbed.add_client("home-user", position=(0.0, 0.0))
+    office = testbed.add_client("office-user", position=(160.0, 0.0))
+    commuter = testbed.add_client("commuter", position=(80.0, 0.0))
+    testbed.start()
+    testbed.run(1.0)
+    StaticMobility(testbed.simulator, home).start()
+    StaticMobility(testbed.simulator, office).start()
+    CommuterMobility(testbed.simulator, commuter, anchor_a=(80.0, 0.0), anchor_b=(0.0, 0.0),
+                     speed_mps=6.0, dwell_s=20.0).start()
+
+    # Per-user services.
+    testbed.ui.attach_nf(home.ip, "cache", config={"capacity_mb": 16.0})
+    testbed.ui.attach_nf(home.ip, "ids", config={"malware_signatures": ["EICAR"]})
+    testbed.ui.attach_nf(office.ip, "firewall")
+    testbed.ui.attach_nf(commuter.ip, "rate-limiter", config={"rate_bps": 8e6})
+    testbed.run(8.0)
+
+    # Background traffic.
+    HTTPWorkloadGenerator(testbed.simulator, home, server_ip=testbed.server_ip, mean_think_time_s=0.5).start()
+    CBRTrafficGenerator(testbed.simulator, office, server_ip=testbed.server_ip, rate_pps=30).start()
+    CBRTrafficGenerator(testbed.simulator, commuter, server_ip=testbed.server_ip, rate_pps=30).start()
+
+    # A piece of malware phones home from the home user's network.
+    for index in range(3):
+        bad = pkt.make_tcp_packet(home.ip, testbed.server_ip, 45000 + index, 80)
+        bad.metadata["payload_signature"] = "EICAR"
+        testbed.simulator.schedule(15.0 + index, home.send_packet, bad)
+
+    testbed.run(90.0)
+
+    print(testbed.ui.render_overview())
+    print()
+    print(testbed.ui.render_stations())
+    print()
+    print(testbed.ui.render_clients())
+    print()
+    print("Notifications (warning and above):")
+    for row in testbed.ui.notifications(minimum_severity="warning"):
+        print(f"  t={row['time']:7.2f}s [{row['severity']:>8}] {row['station']} / {row['nf']}: {row['message']}")
+    print()
+    migrations = testbed.roaming.completed_migrations()
+    print(f"Completed migrations for the commuter: {len(migrations)} "
+          f"(mean coverage gap {testbed.roaming.mean_coverage_gap_s():.2f} s)")
+    hotspots = testbed.manager.hotspots.hotspot_stations()
+    print(f"Hotspot stations flagged by the Manager: {hotspots or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Result analysis helpers shared by tests, examples and benchmarks."""
+
+from repro.analysis.stats import (
+    mean,
+    median,
+    percentile,
+    stdev,
+    summarize,
+    ratio,
+)
+from repro.analysis.report import ExperimentResult, ExperimentReport
+
+__all__ = [
+    "mean",
+    "median",
+    "percentile",
+    "stdev",
+    "summarize",
+    "ratio",
+    "ExperimentResult",
+    "ExperimentReport",
+]

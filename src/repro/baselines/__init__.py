@@ -1,0 +1,26 @@
+"""Comparison baselines.
+
+The paper's claims are comparative: containers vs. "resource-hungry Virtual
+Machines", edge placement vs. centralised deployment, roaming NFs vs. NFs
+that stay put.  Each baseline here makes one of those comparisons measurable:
+
+* :mod:`repro.baselines.vm_nfv` -- VM-based NFV (ClickOS/VM-style footprint
+  and boot times) on the same stations, for the instantiation-latency and
+  density benchmarks (E2, E3).
+* :mod:`repro.baselines.core_nfv` -- NFs deployed centrally next to the
+  origin servers instead of at the edge, for the latency benchmark (E4).
+* :mod:`repro.baselines.no_migration` -- edge NFV without function roaming:
+  the chain stays on the original station when the client roams, for the
+  migration benchmark (E5).
+"""
+
+from repro.baselines.vm_nfv import VMNFVBaseline, vm_image_for
+from repro.baselines.core_nfv import CoreNFVScenario
+from repro.baselines.no_migration import NoMigrationCoordinator
+
+__all__ = [
+    "VMNFVBaseline",
+    "vm_image_for",
+    "CoreNFVScenario",
+    "NoMigrationCoordinator",
+]

@@ -1,0 +1,107 @@
+"""The GNF framework itself (the paper's contribution).
+
+* :mod:`repro.core.manager` -- the central Manager (attach/detach API,
+  monitoring, hotspot detection, notifications).
+* :mod:`repro.core.agent` -- the per-station Agent (container lifecycle,
+  veth/flow-rule wiring, client events, heartbeats).
+* :mod:`repro.core.ui` -- the operator dashboard over the Manager API.
+* :mod:`repro.core.roaming` -- NF migration that follows roaming clients
+  (cold / stateful / pre-copy strategies).
+* :mod:`repro.core.repository` -- the central NF image catalogue.
+* :mod:`repro.core.chain` / :mod:`repro.core.policy` -- service chains and
+  per-client traffic selectors.
+* :mod:`repro.core.placement` -- placement strategies (closest agent,
+  load-aware, latency-aware, core).
+* :mod:`repro.core.scheduler` -- time-scheduled NF activation.
+* :mod:`repro.core.monitoring` / :mod:`repro.core.notifications` -- health,
+  hotspots and provider notifications.
+* :mod:`repro.core.testbed` -- one-call assembly of a complete emulated GNF
+  deployment (topology + wireless + Manager + Agents + UI).
+"""
+
+from repro.core.agent import ChainDeployment, DeployedNF, GNFAgent
+from repro.core.api import (
+    AgentHeartbeat,
+    ClientEvent,
+    ControlChannel,
+    DeployChainRequest,
+    DeployChainResponse,
+    NFNotificationMessage,
+    RegisterAgent,
+    RemoveChainRequest,
+)
+from repro.core.chain import NFSpec, ServiceChain
+from repro.core.errors import (
+    CatalogError,
+    DeploymentError,
+    GNFError,
+    MigrationError,
+    ScheduleError,
+    UnknownAgentError,
+    UnknownAssignmentError,
+    UnknownClientError,
+)
+from repro.core.manager import Assignment, AssignmentState, GNFManager
+from repro.core.monitoring import HealthMonitor, Hotspot, HotspotDetector
+from repro.core.notifications import NotificationCenter, ProviderNotification
+from repro.core.placement import (
+    ClosestAgentPlacement,
+    CorePlacement,
+    LatencyAwarePlacement,
+    LoadAwarePlacement,
+    StationView,
+)
+from repro.core.policy import TrafficSelector
+from repro.core.repository import CatalogEntry, NFRepository
+from repro.core.roaming import MigrationRecord, RoamingCoordinator
+from repro.core.scheduler import NFScheduler, ScheduleWindow, TimeSchedule
+from repro.core.testbed import GNFTestbed, TestbedConfig
+from repro.core.ui import GNFDashboard
+
+__all__ = [
+    "GNFAgent",
+    "ChainDeployment",
+    "DeployedNF",
+    "GNFManager",
+    "Assignment",
+    "AssignmentState",
+    "GNFDashboard",
+    "RoamingCoordinator",
+    "MigrationRecord",
+    "NFRepository",
+    "CatalogEntry",
+    "ServiceChain",
+    "NFSpec",
+    "TrafficSelector",
+    "TimeSchedule",
+    "ScheduleWindow",
+    "NFScheduler",
+    "ClosestAgentPlacement",
+    "LoadAwarePlacement",
+    "LatencyAwarePlacement",
+    "CorePlacement",
+    "StationView",
+    "HealthMonitor",
+    "HotspotDetector",
+    "Hotspot",
+    "NotificationCenter",
+    "ProviderNotification",
+    "ControlChannel",
+    "AgentHeartbeat",
+    "ClientEvent",
+    "NFNotificationMessage",
+    "RegisterAgent",
+    "DeployChainRequest",
+    "DeployChainResponse",
+    "RemoveChainRequest",
+    "GNFTestbed",
+    "TestbedConfig",
+    "GNFError",
+    "UnknownAgentError",
+    "UnknownClientError",
+    "UnknownAssignmentError",
+    "DeploymentError",
+    "MigrationError",
+    "CatalogError",
+    "ScheduleError",
+]

@@ -1,0 +1,134 @@
+"""Control-plane messages and the Manager <-> Agent control channel.
+
+Section 3: the Manager "keep[s] a connection with all the Agents in the
+network" and exposes "a set of APIs to control the state of NFs' containers
+across all stations".  The reproduction models that connection as a
+:class:`ControlChannel` with the one-way latency of the management path
+(station <-> gateway <-> core), and the API as explicit message dataclasses,
+so control-plane traffic volume and latency are measurable (benchmark E7).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.netem.simulator import Simulator
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class ControlMessage:
+    """Base class for every Manager <-> Agent message."""
+
+    def __post_init__(self) -> None:
+        self.message_id = next(_message_ids)
+
+
+@dataclass
+class RegisterAgent(ControlMessage):
+    """Agent -> Manager: a station came online."""
+
+    station_name: str
+    profile_name: str
+    cpu_mhz: float
+    memory_mb: float
+
+
+@dataclass
+class AgentHeartbeat(ControlMessage):
+    """Agent -> Manager: periodic station state report."""
+
+    station_name: str
+    time: float
+    resources: Dict[str, float] = field(default_factory=dict)
+    switch: Dict[str, float] = field(default_factory=dict)
+    nf_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    connected_clients: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ClientEvent(ControlMessage):
+    """Agent -> Manager: a client (dis)connected from a cell on this station."""
+
+    station_name: str
+    client_ip: str
+    client_name: str
+    cell_name: str
+    event: str  # "connected" | "disconnected"
+    time: float
+
+
+@dataclass
+class NFNotificationMessage(ControlMessage):
+    """Agent -> Manager: an NF raised a notification (intrusion, anomaly...)."""
+
+    station_name: str
+    nf_name: str
+    severity: str
+    message: str
+    time: float
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class DeployChainRequest(ControlMessage):
+    """Manager -> Agent: instantiate a chain for a client's traffic subset."""
+
+    assignment_id: str
+    client_ip: str
+    chain_spec: List[Dict[str, object]] = field(default_factory=list)
+    selector: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class DeployChainResponse(ControlMessage):
+    """Agent -> Manager: deployment finished (or failed)."""
+
+    assignment_id: str
+    station_name: str
+    success: bool
+    detail: str = ""
+    deploy_latency_s: float = 0.0
+
+
+@dataclass
+class RemoveChainRequest(ControlMessage):
+    """Manager -> Agent: tear down a client's chain."""
+
+    assignment_id: str
+    client_ip: str
+
+
+class ControlChannel:
+    """A latency-modelled, loss-free control connection to one Agent.
+
+    ``call`` delivers a callback on the remote side after the one-way
+    latency; both directions share the same latency figure (the management
+    VLAN between the core and the station).
+    """
+
+    def __init__(self, simulator: Simulator, latency_s: float, name: str = "control") -> None:
+        if latency_s < 0:
+            raise ValueError(f"latency must be non-negative, got {latency_s}")
+        self.simulator = simulator
+        self.latency_s = latency_s
+        self.name = name
+        self.messages_delivered = 0
+        self.bytes_estimate = 0
+
+    def call(self, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> None:
+        """Invoke ``callback`` on the far side after the control-plane latency."""
+        self.messages_delivered += 1
+        # Rough control message size for the traffic accounting in E7.
+        self.bytes_estimate += 512
+        self.simulator.schedule(self.latency_s, callback, *args, **kwargs)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "latency_s": self.latency_s,
+            "messages_delivered": float(self.messages_delivered),
+            "bytes_estimate": float(self.bytes_estimate),
+        }

@@ -1,0 +1,91 @@
+"""Service function chains.
+
+The Manager "allows single or chain of NFs to be associated with" a client.
+A :class:`ServiceChain` is an ordered list of :class:`NFSpec` entries
+(function type plus deployment-time configuration).  Upstream traffic
+traverses the chain first-to-last; downstream traffic traverses it in
+reverse, matching middlebox semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+_chain_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class NFSpec:
+    """One position in a chain: the NF type and its configuration."""
+
+    nf_type: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    instance_name: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"nf_type": self.nf_type, "config": dict(self.config), "instance_name": self.instance_name}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "NFSpec":
+        return cls(
+            nf_type=str(data["nf_type"]),
+            config=dict(data.get("config", {})),  # type: ignore[arg-type]
+            instance_name=str(data.get("instance_name", "")),
+        )
+
+
+class ServiceChain:
+    """An ordered chain of NF specifications."""
+
+    def __init__(self, specs: Sequence[NFSpec], name: str = "") -> None:
+        if not specs:
+            raise ValueError("a service chain needs at least one NF")
+        self.chain_id = f"chain-{next(_chain_ids):04d}"
+        self.name = name or self.chain_id
+        self.specs: List[NFSpec] = list(specs)
+
+    # ------------------------------------------------------------ factories
+
+    @classmethod
+    def single(cls, nf_type: str, config: Optional[Dict[str, Any]] = None, name: str = "") -> "ServiceChain":
+        """A chain with exactly one NF (the common demo case)."""
+        return cls([NFSpec(nf_type=nf_type, config=dict(config or {}))], name=name or nf_type)
+
+    @classmethod
+    def of(cls, *nf_types: str, name: str = "") -> "ServiceChain":
+        """A chain from bare NF type names with default configuration."""
+        return cls([NFSpec(nf_type=nf_type) for nf_type in nf_types], name=name)
+
+    # -------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[NFSpec]:
+        return iter(self.specs)
+
+    @property
+    def nf_types(self) -> List[str]:
+        return [spec.nf_type for spec in self.specs]
+
+    def upstream_order(self) -> List[NFSpec]:
+        """Order in which client-originated traffic traverses the chain."""
+        return list(self.specs)
+
+    def downstream_order(self) -> List[NFSpec]:
+        """Order in which traffic towards the client traverses the chain."""
+        return list(reversed(self.specs))
+
+    # ------------------------------------------------------------ serialize
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [spec.to_dict() for spec in self.specs]
+
+    @classmethod
+    def from_dicts(cls, data: Sequence[Dict[str, object]], name: str = "") -> "ServiceChain":
+        return cls([NFSpec.from_dict(entry) for entry in data], name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ServiceChain({' -> '.join(self.nf_types)})"

@@ -1,0 +1,386 @@
+"""The GNF Manager: the provider's central controller.
+
+Section 3: "The Manager allows single or chain of NFs to be associated with
+a subset of a selected client's traffic.  This is achieved by providing a
+set of APIs to control the state of NFs' containers across all stations and
+keeping a connection with all the Agents in the network.  The Manager is
+also responsible for continuously monitoring the health and resource
+utilization from the GNF stations, allowing the provider to detect
+resource-hotspots ...  Using the same API, individual NFs can relay
+notifications through their local Agent to the Manager."
+
+This class implements exactly those responsibilities: the attach/detach API
+used by the UI, Agent registration and heartbeat processing, client-location
+tracking fed by Agent (dis)connection events, hotspot detection,
+notification collection, and the hook the roaming coordinator uses to
+migrate NFs when a client shows up at a different station.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.agent import ChainDeployment, GNFAgent
+from repro.core.api import (
+    AgentHeartbeat,
+    ClientEvent,
+    ControlChannel,
+    NFNotificationMessage,
+)
+from repro.core.chain import ServiceChain
+from repro.core.errors import UnknownAgentError, UnknownAssignmentError, UnknownClientError
+from repro.core.monitoring import HealthMonitor, HotspotDetector
+from repro.core.notifications import NotificationCenter, ProviderNotification
+from repro.core.placement import ClosestAgentPlacement, PlacementStrategy, StationView
+from repro.core.policy import TrafficSelector
+from repro.core.repository import NFRepository
+from repro.core.scheduler import NFScheduler, TimeSchedule
+from repro.netem.simulator import Simulator
+from repro.netem.topology import EdgeTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.roaming import RoamingCoordinator
+
+_assignment_ids = itertools.count(1)
+
+
+class AssignmentState(enum.Enum):
+    """Lifecycle of an NF assignment."""
+
+    PENDING = "pending"
+    DEPLOYING = "deploying"
+    ACTIVE = "active"
+    MIGRATING = "migrating"
+    REMOVED = "removed"
+    FAILED = "failed"
+
+
+@dataclass
+class Assignment:
+    """One client's NF (or chain) assignment, as the Manager tracks it."""
+
+    assignment_id: str
+    client_ip: str
+    chain: ServiceChain
+    selector: TrafficSelector
+    schedule: TimeSchedule
+    station_name: str
+    state: AssignmentState = AssignmentState.PENDING
+    requested_at: float = 0.0
+    active_at: Optional[float] = None
+    failure_reason: str = ""
+    station_history: List[str] = field(default_factory=list)
+    migrations: int = 0
+
+    @property
+    def attach_latency_s(self) -> Optional[float]:
+        """Time from the attach API call until traffic steering was active."""
+        if self.active_at is None:
+            return None
+        return self.active_at - self.requested_at
+
+
+ClientEventListener = Callable[[ClientEvent], None]
+
+
+class GNFManager:
+    """The central GNF controller."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        repository: Optional[NFRepository] = None,
+        topology: Optional[EdgeTopology] = None,
+        placement: Optional[PlacementStrategy] = None,
+        heartbeat_timeout_s: float = 10.0,
+    ) -> None:
+        self.simulator = simulator
+        self.repository = repository or NFRepository.with_default_catalog()
+        self.topology = topology
+        self.placement: PlacementStrategy = placement or ClosestAgentPlacement()
+        self.agents: Dict[str, GNFAgent] = {}
+        self.channels: Dict[str, ControlChannel] = {}
+        self.assignments: Dict[str, Assignment] = {}
+        self.client_locations: Dict[str, str] = {}
+        self.client_names: Dict[str, str] = {}
+        self.last_heartbeat: Dict[str, AgentHeartbeat] = {}
+        self.health = HealthMonitor(heartbeat_timeout_s=heartbeat_timeout_s)
+        self.hotspots = HotspotDetector()
+        self.notifications = NotificationCenter()
+        self.scheduler = NFScheduler(
+            simulator,
+            enable_callback=self._enable_assignment,
+            disable_callback=self._disable_assignment,
+        )
+        self.roaming: Optional["RoamingCoordinator"] = None
+        self._client_event_listeners: List[ClientEventListener] = []
+        self.heartbeats_processed = 0
+        self.client_events_processed = 0
+
+    # --------------------------------------------------------- registration
+
+    def register_agent(self, agent: GNFAgent, control_latency_s: Optional[float] = None) -> ControlChannel:
+        """Connect an Agent to the Manager over a latency-modelled channel."""
+        station_name = agent.station.name
+        if control_latency_s is None:
+            if self.topology is not None and station_name in self.topology.stations:
+                control_latency_s = self.topology.control_latency(station_name)
+            else:
+                control_latency_s = 0.01
+        channel = ControlChannel(self.simulator, latency_s=control_latency_s, name=f"ctl-{station_name}")
+        self.agents[station_name] = agent
+        self.channels[station_name] = channel
+        agent.connect_to_manager(
+            channel,
+            heartbeat_sink=self.receive_heartbeat,
+            event_sink=self.receive_client_event,
+            notification_sink=self.receive_notification,
+        )
+        self.health.register(station_name, self.simulator.now)
+        agent.start()
+        return channel
+
+    def agent(self, station_name: str) -> GNFAgent:
+        try:
+            return self.agents[station_name]
+        except KeyError as exc:
+            raise UnknownAgentError(station_name) from exc
+
+    def start(self) -> "GNFManager":
+        """Start the schedule evaluator (agents start when registered)."""
+        self.scheduler.start()
+        return self
+
+    # ------------------------------------------------------------ attach API
+
+    def attach_chain(
+        self,
+        client_ip: str,
+        chain: ServiceChain,
+        selector: Optional[TrafficSelector] = None,
+        schedule: Optional[TimeSchedule] = None,
+        station_name: Optional[str] = None,
+    ) -> Assignment:
+        """Associate a chain with a subset of the client's traffic.
+
+        The chain is placed according to the configured placement strategy
+        (the paper's default: the station the client is attached to) and the
+        deployment is dispatched to that station's Agent.
+        """
+        client_station = station_name or self.client_locations.get(client_ip)
+        if client_station is None:
+            raise UnknownClientError(
+                f"client {client_ip!r} has no known location; pass station_name explicitly"
+            )
+        chosen_station = self.placement.choose(client_station, self.station_views(client_station))
+        assignment = Assignment(
+            assignment_id=f"asg-{next(_assignment_ids):04d}",
+            client_ip=client_ip,
+            chain=chain,
+            selector=selector or TrafficSelector.all_traffic(),
+            schedule=schedule or TimeSchedule.always(),
+            station_name=chosen_station,
+            requested_at=self.simulator.now,
+        )
+        assignment.station_history.append(chosen_station)
+        self.assignments[assignment.assignment_id] = assignment
+        self._dispatch_deployment(assignment)
+        self.scheduler.add(assignment.assignment_id, assignment.schedule, currently_active=True)
+        return assignment
+
+    def attach_nf(
+        self,
+        client_ip: str,
+        nf_type: str,
+        config: Optional[Dict[str, object]] = None,
+        selector: Optional[TrafficSelector] = None,
+        schedule: Optional[TimeSchedule] = None,
+        station_name: Optional[str] = None,
+    ) -> Assignment:
+        """Associate a single NF with a client (convenience wrapper)."""
+        return self.attach_chain(
+            client_ip,
+            ServiceChain.single(nf_type, config=config),
+            selector=selector,
+            schedule=schedule,
+            station_name=station_name,
+        )
+
+    def detach(self, assignment_id: str) -> Assignment:
+        """Remove a client's chain from wherever it currently runs."""
+        assignment = self._assignment(assignment_id)
+        agent = self.agent(assignment.station_name)
+        channel = self.channels[assignment.station_name]
+        channel.call(agent.remove_chain, assignment_id)
+        assignment.state = AssignmentState.REMOVED
+        self.scheduler.remove(assignment_id)
+        return assignment
+
+    def _dispatch_deployment(
+        self,
+        assignment: Assignment,
+        nf_states: Optional[List[Dict[str, object]]] = None,
+    ) -> None:
+        agent = self.agent(assignment.station_name)
+        channel = self.channels[assignment.station_name]
+        assignment.state = AssignmentState.DEPLOYING
+
+        def deployment_complete(deployment: ChainDeployment, success: bool, detail: str) -> None:
+            # Report back to the Manager over the control channel.
+            channel.call(self._deployment_finished, assignment.assignment_id, success, detail, deployment)
+
+        channel.call(
+            agent.deploy_chain,
+            assignment.assignment_id,
+            assignment.client_ip,
+            assignment.chain,
+            assignment.selector,
+            nf_states,
+            deployment_complete,
+        )
+
+    def _deployment_finished(
+        self,
+        assignment_id: str,
+        success: bool,
+        detail: str,
+        deployment: ChainDeployment,
+    ) -> None:
+        assignment = self.assignments.get(assignment_id)
+        if assignment is None:
+            return
+        if success:
+            assignment.state = AssignmentState.ACTIVE
+            assignment.active_at = self.simulator.now
+        else:
+            assignment.state = AssignmentState.FAILED
+            assignment.failure_reason = detail
+
+    # ----------------------------------------------------- scheduler hooks
+
+    def _enable_assignment(self, assignment_id: str) -> None:
+        assignment = self.assignments.get(assignment_id)
+        if assignment is None or assignment.state is AssignmentState.REMOVED:
+            return
+        agent = self.agents.get(assignment.station_name)
+        if agent is not None:
+            self.channels[assignment.station_name].call(agent.set_chain_active, assignment_id, True)
+
+    def _disable_assignment(self, assignment_id: str) -> None:
+        assignment = self.assignments.get(assignment_id)
+        if assignment is None or assignment.state is AssignmentState.REMOVED:
+            return
+        agent = self.agents.get(assignment.station_name)
+        if agent is not None:
+            self.channels[assignment.station_name].call(agent.set_chain_active, assignment_id, False)
+
+    # ----------------------------------------------------- agent -> manager
+
+    def receive_heartbeat(self, heartbeat: AgentHeartbeat) -> None:
+        """Process one Agent heartbeat (liveness, hotspots, latest stats)."""
+        self.heartbeats_processed += 1
+        self.last_heartbeat[heartbeat.station_name] = heartbeat
+        self.health.record_heartbeat(heartbeat.station_name, self.simulator.now)
+        self.hotspots.observe(heartbeat.station_name, self.simulator.now, heartbeat.resources)
+
+    def receive_client_event(self, event: ClientEvent) -> None:
+        """Process a client (dis)connection reported by an Agent."""
+        self.client_events_processed += 1
+        self.client_names[event.client_ip] = event.client_name
+        previous_station = self.client_locations.get(event.client_ip)
+        if event.event == "connected":
+            self.client_locations[event.client_ip] = event.station_name
+            if self.roaming is not None:
+                for assignment in self.assignments_for_client(event.client_ip):
+                    if (
+                        assignment.state in (AssignmentState.ACTIVE, AssignmentState.MIGRATING)
+                        and assignment.station_name != event.station_name
+                    ):
+                        self.roaming.handle_client_connected(assignment, event)
+        elif event.event == "disconnected":
+            if previous_station == event.station_name:
+                self.client_locations.pop(event.client_ip, None)
+            if self.roaming is not None:
+                for assignment in self.assignments_for_client(event.client_ip):
+                    if assignment.state is AssignmentState.ACTIVE and assignment.station_name == event.station_name:
+                        self.roaming.handle_client_disconnected(assignment, event)
+        for listener in self._client_event_listeners:
+            listener(event)
+
+    def receive_notification(self, message: NFNotificationMessage) -> None:
+        """Store an NF notification relayed by an Agent."""
+        self.notifications.publish(
+            ProviderNotification(
+                received_at=self.simulator.now,
+                raised_at=message.time,
+                station_name=message.station_name,
+                nf_name=message.nf_name,
+                severity=message.severity,
+                message=message.message,
+                details=dict(message.details),
+            )
+        )
+
+    def add_client_event_listener(self, listener: ClientEventListener) -> None:
+        self._client_event_listeners.append(listener)
+
+    # -------------------------------------------------------------- queries
+
+    def _assignment(self, assignment_id: str) -> Assignment:
+        try:
+            return self.assignments[assignment_id]
+        except KeyError as exc:
+            raise UnknownAssignmentError(assignment_id) from exc
+
+    def assignments_for_client(self, client_ip: str) -> List[Assignment]:
+        return [a for a in self.assignments.values() if a.client_ip == client_ip]
+
+    def station_views(self, client_station: Optional[str] = None) -> List[StationView]:
+        """What the placement strategy sees for every registered station."""
+        views: List[StationView] = []
+        for station_name, agent in self.agents.items():
+            heartbeat = self.last_heartbeat.get(station_name)
+            resources = heartbeat.resources if heartbeat else agent.runtime.utilization()
+            control_latency = self.channels[station_name].latency_s
+            if self.topology is not None and client_station is not None:
+                client_latency = self.topology.station_to_station_latency(client_station, station_name)
+            else:
+                client_latency = 0.0 if station_name == client_station else 0.01
+            views.append(
+                StationView(
+                    name=station_name,
+                    free_memory_mb=float(resources.get("free_memory_mb", 0.0)),
+                    memory_utilization=float(resources.get("memory_utilization", 0.0)),
+                    running_nfs=int(resources.get("containers_running", 0)),
+                    control_latency_s=control_latency,
+                    client_latency_s=client_latency,
+                )
+            )
+        return views
+
+    def overview(self) -> Dict[str, object]:
+        """The network-wide summary the UI's landing page shows."""
+        now = self.simulator.now
+        active_assignments = [
+            a for a in self.assignments.values() if a.state is AssignmentState.ACTIVE
+        ]
+        total_nfs = sum(len(a.chain) for a in active_assignments)
+        return {
+            "time": now,
+            "online_stations": self.health.online_stations(now),
+            "offline_stations": self.health.offline_stations(now),
+            "connected_clients": sorted(self.client_locations),
+            "assignments": len(self.assignments),
+            "active_assignments": len(active_assignments),
+            "enabled_nfs": total_nfs,
+            "hotspot_stations": self.hotspots.hotspot_stations(),
+            "notifications": self.notifications.summary(),
+            "heartbeats_processed": self.heartbeats_processed,
+        }
+
+    def control_plane_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-station control-channel statistics (benchmark E7)."""
+        return {name: channel.stats() for name, channel in self.channels.items()}

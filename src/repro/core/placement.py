@@ -1,0 +1,104 @@
+"""NF placement strategies.
+
+Section 3: "the Manager notifies the closest Agent".  The reproduction keeps
+placement pluggable so the E4 benchmark can ablate the choice:
+
+* :class:`ClosestAgentPlacement` -- the paper's behaviour: place the NF on
+  the station the client is attached to.
+* :class:`LoadAwarePlacement` -- among stations within a latency bound of
+  the client, pick the one with the most free memory (avoids hotspots).
+* :class:`LatencyAwarePlacement` -- explicitly minimise client-to-NF latency
+  using the topology graph (falls back to the attachment station).
+* :class:`CorePlacement` -- always place at a designated core/central
+  station; this is the "centralised NFV" baseline's strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol
+
+from repro.core.errors import DeploymentError
+
+
+@dataclass
+class StationView:
+    """What the Manager knows about a station when placing an NF."""
+
+    name: str
+    free_memory_mb: float
+    memory_utilization: float
+    running_nfs: int
+    control_latency_s: float
+    client_latency_s: float
+
+
+class PlacementStrategy(Protocol):
+    """Chooses a station for a client's chain."""
+
+    name: str
+
+    def choose(self, client_station: str, candidates: List[StationView]) -> str:
+        """Return the chosen station name."""
+
+
+class ClosestAgentPlacement:
+    """Place on the station the client is currently attached to (the paper)."""
+
+    name = "closest-agent"
+
+    def choose(self, client_station: str, candidates: List[StationView]) -> str:
+        for candidate in candidates:
+            if candidate.name == client_station:
+                return client_station
+        raise DeploymentError(f"client station {client_station!r} is not a known candidate")
+
+
+class LoadAwarePlacement:
+    """Pick the least-loaded station within a latency budget of the client."""
+
+    name = "load-aware"
+
+    def __init__(self, latency_budget_s: float = 0.02, min_free_memory_mb: float = 8.0) -> None:
+        self.latency_budget_s = latency_budget_s
+        self.min_free_memory_mb = min_free_memory_mb
+
+    def choose(self, client_station: str, candidates: List[StationView]) -> str:
+        if not candidates:
+            raise DeploymentError("no candidate stations")
+        eligible = [
+            candidate
+            for candidate in candidates
+            if candidate.client_latency_s <= self.latency_budget_s
+            and candidate.free_memory_mb >= self.min_free_memory_mb
+        ]
+        pool = eligible or candidates
+        best = max(pool, key=lambda candidate: (candidate.free_memory_mb, -candidate.client_latency_s))
+        return best.name
+
+
+class LatencyAwarePlacement:
+    """Minimise latency to the client, breaking ties by free memory."""
+
+    name = "latency-aware"
+
+    def choose(self, client_station: str, candidates: List[StationView]) -> str:
+        if not candidates:
+            raise DeploymentError("no candidate stations")
+        best = min(candidates, key=lambda candidate: (candidate.client_latency_s, -candidate.free_memory_mb))
+        return best.name
+
+
+class CorePlacement:
+    """Always place on a designated central station (centralised-NFV baseline)."""
+
+    name = "core"
+
+    def __init__(self, core_station: str) -> None:
+        self.core_station = core_station
+
+    def choose(self, client_station: str, candidates: List[StationView]) -> str:
+        for candidate in candidates:
+            if candidate.name == self.core_station:
+                return self.core_station
+        raise DeploymentError(f"core station {self.core_station!r} is not a known candidate")

@@ -1,0 +1,188 @@
+"""One-call assembly of a complete emulated GNF deployment.
+
+The demo setup in Fig. 2 is: two wireless networks (each a home router
+hosting GNF), a provider network behind them, smartphones roaming between
+the networks, and the Manager + UI watching everything.  ``GNFTestbed``
+builds exactly that -- topology, cells, clients, Agents, Manager, roaming
+coordinator and dashboard -- so examples, tests and benchmarks can focus on
+the scenario instead of the wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.agent import GNFAgent
+from repro.core.manager import GNFManager
+from repro.core.placement import PlacementStrategy
+from repro.core.repository import NFRepository
+from repro.core.roaming import RoamingCoordinator
+from repro.core.ui import GNFDashboard
+from repro.netem.simulator import Simulator
+from repro.netem.topology import EdgeTopology, StationProfile, TopologyConfig
+from repro.wireless.cell import Cell
+from repro.wireless.client import MobileClient
+from repro.wireless.handover import HandoverManager
+from repro.wireless.radio import RadioEnvironment
+
+
+@dataclass
+class TestbedConfig:
+    """Knobs for the emulated deployment."""
+
+    # Not a pytest test class, despite the name.
+    __test__ = False
+
+    station_count: int = 2
+    cells_per_station: int = 1
+    station_profile: StationProfile = field(default_factory=StationProfile.router_class)
+    station_spacing_m: float = 80.0
+    cell_tx_power_dbm: float = 20.0
+    uplink_bandwidth_bps: float = 100e6
+    uplink_delay_s: float = 0.005
+    core_delay_s: float = 0.010
+    server_count: int = 1
+    dns_zone: Dict[str, List[str]] = field(default_factory=lambda: {"cdn.example.com": ["203.0.113.10"]})
+    migration_strategy: str = "cold"
+    heartbeat_interval_s: float = 2.0
+    scan_interval_s: float = 0.5
+    handover_delay_s: float = 0.05
+    handover_hysteresis_db: float = 4.0
+    placement: Optional[PlacementStrategy] = None
+
+
+class GNFTestbed:
+    """A fully wired emulated edge deployment running GNF."""
+
+    def __init__(self, config: Optional[TestbedConfig] = None) -> None:
+        self.config = config or TestbedConfig()
+        self.simulator = Simulator()
+        self.topology = EdgeTopology(
+            self.simulator,
+            TopologyConfig(
+                station_count=self.config.station_count,
+                station_profile=self.config.station_profile,
+                station_spacing_m=self.config.station_spacing_m,
+                uplink_bandwidth_bps=self.config.uplink_bandwidth_bps,
+                uplink_delay_s=self.config.uplink_delay_s,
+                core_delay_s=self.config.core_delay_s,
+                server_count=self.config.server_count,
+                dns_zone=dict(self.config.dns_zone),
+            ),
+        )
+        self.repository = NFRepository.with_default_catalog()
+        self.manager = GNFManager(
+            self.simulator,
+            repository=self.repository,
+            topology=self.topology,
+            placement=self.config.placement,
+        )
+        self.radio = RadioEnvironment()
+        self.handover = HandoverManager(
+            self.simulator,
+            self.topology,
+            radio_environment=self.radio,
+            scan_interval_s=self.config.scan_interval_s,
+            hysteresis_db=self.config.handover_hysteresis_db,
+            handover_delay_s=self.config.handover_delay_s,
+        )
+        self.roaming = RoamingCoordinator(
+            self.simulator, self.manager, strategy=self.config.migration_strategy
+        )
+        self.ui = GNFDashboard(self.manager)
+        self.agents: Dict[str, GNFAgent] = {}
+        self.cells: Dict[str, Cell] = {}
+        self.clients: Dict[str, MobileClient] = {}
+        self._build_stations()
+        self.manager.start()
+
+    # ----------------------------------------------------------------- build
+
+    def _build_stations(self) -> None:
+        for station_name, station in self.topology.stations.items():
+            agent = GNFAgent(
+                self.simulator,
+                station,
+                self.repository,
+                pull_bandwidth_bps=self.config.uplink_bandwidth_bps,
+                heartbeat_interval_s=self.config.heartbeat_interval_s,
+            )
+            self.agents[station_name] = agent
+            self.manager.register_agent(agent)
+            for cell_index in range(self.config.cells_per_station):
+                self._add_cell(station_name, station.position, cell_index, agent)
+
+    def _add_cell(
+        self,
+        station_name: str,
+        station_position: Tuple[float, float],
+        cell_index: int,
+        agent: GNFAgent,
+    ) -> Cell:
+        cell_name = f"{station_name}-cell{cell_index + 1}"
+        position = (station_position[0] + cell_index * 10.0, station_position[1])
+        cell = Cell(
+            self.simulator,
+            name=cell_name,
+            station_name=station_name,
+            position=position,
+            mac=self.topology.addresses.allocate_mac(),
+            tx_power_dbm=self.config.cell_tx_power_dbm,
+            radio_environment=self.radio,
+        )
+        self.topology.connect_cell(cell, station_name, cell.wired_interface)
+        agent.watch_cell(cell)
+        self.handover.add_cell(cell)
+        self.cells[cell_name] = cell
+        return cell
+
+    # --------------------------------------------------------------- clients
+
+    def add_client(self, name: Optional[str] = None, position: Tuple[float, float] = (0.0, 0.0)) -> MobileClient:
+        """Create a mobile client at ``position`` (not yet associated)."""
+        client_name = name or f"client-{len(self.clients) + 1}"
+        client = MobileClient(
+            self.simulator,
+            name=client_name,
+            ip=self.topology.addresses.allocate_ip("clients", owner=client_name),
+            mac=self.topology.addresses.allocate_mac(),
+            position=position,
+        )
+        self.clients[client_name] = client
+        self.handover.add_client(client)
+        return client
+
+    def add_server(self, name: str, http_body_bytes: Optional[int] = None):
+        """Add an extra application server in the core."""
+        return self.topology.add_server(name, http_body_bytes=http_body_bytes)
+
+    # --------------------------------------------------------------- running
+
+    def start(self) -> "GNFTestbed":
+        """Associate clients with their best cells and start periodic scanning."""
+        self.handover.start()
+        return self
+
+    def run(self, duration_s: float) -> float:
+        """Advance the simulation by ``duration_s`` seconds."""
+        return self.simulator.run_for(duration_s)
+
+    def run_until(self, time_s: float) -> float:
+        return self.simulator.run(until=time_s)
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def server_ip(self) -> str:
+        """IP of the first core application server."""
+        return self.topology.any_server_ip()
+
+    def agent_for(self, station_name: str) -> GNFAgent:
+        return self.agents[station_name]
+
+    def station_names(self) -> List[str]:
+        return sorted(self.topology.stations)
+
+    def client(self, name: str) -> MobileClient:
+        return self.clients[name]

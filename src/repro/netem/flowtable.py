@@ -1,0 +1,213 @@
+"""Priority match/action flow table for the station software switch.
+
+GNF Agents attach NFs to a *subset of a client's traffic* by installing flow
+rules that steer matching packets through the NF container's ingress veth and
+back out of its egress veth ("transparent traffic handling" in the paper).
+The flow table here follows OpenFlow conventions closely enough that the
+installed rules read like the ones a real deployment would use: priority
+ordering, wildcardable match fields, per-rule packet/byte counters, and a
+cookie used to group rules belonging to the same client/NF assignment so the
+Agent can remove them atomically.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netem.packet import Packet, TCPHeader, UDPHeader
+
+
+class ActionType(enum.Enum):
+    """Supported flow actions."""
+
+    OUTPUT = "output"
+    DROP = "drop"
+    FLOOD = "flood"
+    SET_ETH_DST = "set_eth_dst"
+    SET_ETH_SRC = "set_eth_src"
+    SET_IP_DST = "set_ip_dst"
+    SET_IP_SRC = "set_ip_src"
+    SET_METADATA = "set_metadata"
+
+
+@dataclass(frozen=True)
+class Action:
+    """A single action; ``value`` is the output port, field value, or tag."""
+
+    action_type: ActionType
+    value: object = None
+
+    @classmethod
+    def output(cls, port: int) -> "Action":
+        return cls(ActionType.OUTPUT, port)
+
+    @classmethod
+    def drop(cls) -> "Action":
+        return cls(ActionType.DROP)
+
+    @classmethod
+    def flood(cls) -> "Action":
+        return cls(ActionType.FLOOD)
+
+    @classmethod
+    def set_metadata(cls, key: str, value: object) -> "Action":
+        return cls(ActionType.SET_METADATA, (key, value))
+
+
+@dataclass(frozen=True)
+class Match:
+    """Wildcardable match over the packet fields GNF steering needs.
+
+    ``None`` means "don't care".  ``metadata`` entries must all be present
+    (and equal) in the packet's metadata dict for the match to succeed, which
+    is how chain steering tags packets that already traversed an NF.
+    """
+
+    in_port: Optional[int] = None
+    eth_src: Optional[str] = None
+    eth_dst: Optional[str] = None
+    ip_src: Optional[str] = None
+    ip_dst: Optional[str] = None
+    ip_proto: Optional[int] = None
+    l4_src_port: Optional[int] = None
+    l4_dst_port: Optional[int] = None
+    metadata: Tuple[Tuple[str, object], ...] = ()
+
+    def matches(self, packet: Packet, in_port: int) -> bool:
+        """True if the packet arriving on ``in_port`` satisfies every field."""
+        if self.in_port is not None and in_port != self.in_port:
+            return False
+        if self.eth_src is not None and (packet.eth is None or packet.eth.src != self.eth_src):
+            return False
+        if self.eth_dst is not None and (packet.eth is None or packet.eth.dst != self.eth_dst):
+            return False
+        if self.ip_src is not None and (packet.ip is None or packet.ip.src != self.ip_src):
+            return False
+        if self.ip_dst is not None and (packet.ip is None or packet.ip.dst != self.ip_dst):
+            return False
+        if self.ip_proto is not None and (packet.ip is None or packet.ip.protocol != self.ip_proto):
+            return False
+        if self.l4_src_port is not None:
+            if not isinstance(packet.l4, (TCPHeader, UDPHeader)) or packet.l4.src_port != self.l4_src_port:
+                return False
+        if self.l4_dst_port is not None:
+            if not isinstance(packet.l4, (TCPHeader, UDPHeader)) or packet.l4.dst_port != self.l4_dst_port:
+                return False
+        for key, value in self.metadata:
+            if packet.metadata.get(key) != value:
+                return False
+        return True
+
+    def specificity(self) -> int:
+        """Number of concrete (non-wildcard) fields; used for diagnostics."""
+        concrete = sum(
+            1
+            for value in (
+                self.in_port,
+                self.eth_src,
+                self.eth_dst,
+                self.ip_src,
+                self.ip_dst,
+                self.ip_proto,
+                self.l4_src_port,
+                self.l4_dst_port,
+            )
+            if value is not None
+        )
+        return concrete + len(self.metadata)
+
+
+_rule_ids = itertools.count(1)
+
+
+@dataclass
+class FlowRule:
+    """A priority, match, action-list triple with counters."""
+
+    priority: int
+    match: Match
+    actions: Sequence[Action]
+    cookie: str = ""
+    rule_id: int = field(default_factory=lambda: next(_rule_ids))
+    packets_matched: int = 0
+    bytes_matched: int = 0
+
+    def record(self, packet: Packet) -> None:
+        self.packets_matched += 1
+        self.bytes_matched += packet.size_bytes
+
+
+class FlowTable:
+    """An ordered collection of :class:`FlowRule` objects.
+
+    Rules are evaluated highest priority first; among equal priorities the
+    most recently installed rule wins (mirroring OVS behaviour closely enough
+    for the reproduction's purposes).
+    """
+
+    def __init__(self, name: str = "table0") -> None:
+        self.name = name
+        self._rules: List[FlowRule] = []
+
+    # ------------------------------------------------------------ mutation
+
+    def install(self, rule: FlowRule) -> FlowRule:
+        """Add a rule and keep the table sorted by descending priority."""
+        self._rules.append(rule)
+        self._rules.sort(key=lambda r: (-r.priority, -r.rule_id))
+        return rule
+
+    def add(
+        self,
+        priority: int,
+        match: Match,
+        actions: Sequence[Action],
+        cookie: str = "",
+    ) -> FlowRule:
+        """Convenience wrapper constructing and installing a rule."""
+        return self.install(FlowRule(priority=priority, match=match, actions=list(actions), cookie=cookie))
+
+    def remove_rule(self, rule_id: int) -> bool:
+        """Remove a single rule by id; returns True if something was removed."""
+        before = len(self._rules)
+        self._rules = [rule for rule in self._rules if rule.rule_id != rule_id]
+        return len(self._rules) != before
+
+    def remove_by_cookie(self, cookie: str) -> int:
+        """Remove every rule installed under ``cookie``; returns the count."""
+        before = len(self._rules)
+        self._rules = [rule for rule in self._rules if rule.cookie != cookie]
+        return before - len(self._rules)
+
+    def clear(self) -> None:
+        self._rules.clear()
+
+    # ------------------------------------------------------------- lookup
+
+    def lookup(self, packet: Packet, in_port: int) -> Optional[FlowRule]:
+        """Return the highest-priority rule matching the packet, if any."""
+        for rule in self._rules:
+            if rule.match.matches(packet, in_port):
+                rule.record(packet)
+                return rule
+        return None
+
+    def rules(self, cookie: Optional[str] = None) -> List[FlowRule]:
+        """All rules, optionally filtered by cookie."""
+        if cookie is None:
+            return list(self._rules)
+        return [rule for rule in self._rules if rule.cookie == cookie]
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate table statistics (for the Manager's monitoring view)."""
+        return {
+            "rules": len(self._rules),
+            "packets_matched": sum(rule.packets_matched for rule in self._rules),
+            "bytes_matched": sum(rule.bytes_matched for rule in self._rules),
+        }

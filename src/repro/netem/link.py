@@ -1,0 +1,207 @@
+"""Point-to-point links with bandwidth, propagation delay, loss and queueing.
+
+Links connect two :class:`~repro.netem.host.Interface` objects.  Transmission
+models the usual store-and-forward pipeline: a packet waits behind packets
+already queued on the same direction, is serialized at the link rate and then
+propagates for the configured delay.  Each direction keeps independent state
+so full-duplex behaviour matches an Ethernet or Wi-Fi backhaul link.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.netem.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netem.host import Interface
+    from repro.netem.packet import Packet
+
+
+@dataclass
+class LinkStats:
+    """Per-direction link counters."""
+
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    dropped_packets: int = 0
+    dropped_bytes: int = 0
+    queued_high_water: int = 0
+
+    def record_tx(self, size_bytes: int) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += size_bytes
+
+    def record_drop(self, size_bytes: int) -> None:
+        self.dropped_packets += 1
+        self.dropped_bytes += size_bytes
+
+
+class _Direction:
+    """State for one direction of a link."""
+
+    __slots__ = ("busy_until", "queue_depth", "stats")
+
+    def __init__(self) -> None:
+        self.busy_until = 0.0
+        self.queue_depth = 0
+        self.stats = LinkStats()
+
+
+class Link:
+    """Full-duplex point-to-point link.
+
+    Parameters
+    ----------
+    simulator:
+        The shared simulation kernel.
+    bandwidth_bps:
+        Link rate in bits per second (e.g. ``100e6`` for the paper's
+        home-router class devices, ``1e9`` for the backhaul).
+    delay_s:
+        One-way propagation delay in seconds.
+    loss_rate:
+        Independent per-packet loss probability in ``[0, 1)``.
+    max_queue_packets:
+        Drop-tail queue limit per direction.
+    name:
+        Human-readable label used by telemetry and debugging output.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        bandwidth_bps: float = 1e9,
+        delay_s: float = 0.001,
+        loss_rate: float = 0.0,
+        max_queue_packets: int = 1000,
+        name: str = "",
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.simulator = simulator
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.loss_rate = loss_rate
+        self.max_queue_packets = max_queue_packets
+        self.name = name or "link"
+        self._rng = rng or random.Random(0)
+        self.endpoint_a: Optional["Interface"] = None
+        self.endpoint_b: Optional["Interface"] = None
+        self._directions: Dict[str, _Direction] = {"a_to_b": _Direction(), "b_to_a": _Direction()}
+        self.up = True
+
+    # ----------------------------------------------------------- wiring
+
+    def attach(self, a: "Interface", b: "Interface") -> "Link":
+        """Connect the two endpoints of the link."""
+        if self.endpoint_a is not None or self.endpoint_b is not None:
+            raise RuntimeError(f"link {self.name} is already attached")
+        self.endpoint_a = a
+        self.endpoint_b = b
+        a.link = self
+        b.link = self
+        return self
+
+    def peer_of(self, interface: "Interface") -> "Interface":
+        """Return the interface at the other end of the link."""
+        if interface is self.endpoint_a:
+            assert self.endpoint_b is not None
+            return self.endpoint_b
+        if interface is self.endpoint_b:
+            assert self.endpoint_a is not None
+            return self.endpoint_a
+        raise ValueError(f"interface {interface!r} is not attached to link {self.name}")
+
+    # ----------------------------------------------------- transmission
+
+    def serialization_delay(self, size_bytes: int) -> float:
+        """Time to clock ``size_bytes`` onto the wire at the link rate."""
+        return (size_bytes * 8) / self.bandwidth_bps
+
+    def transmit(self, packet: "Packet", from_interface: "Interface") -> bool:
+        """Send ``packet`` out of ``from_interface`` towards the peer.
+
+        Returns ``True`` if the packet was accepted for transmission (it may
+        still be lost in flight), ``False`` if it was dropped immediately
+        (link down or full queue).
+        """
+        direction_key = "a_to_b" if from_interface is self.endpoint_a else "b_to_a"
+        direction = self._directions[direction_key]
+        size = packet.size_bytes
+
+        if not self.up:
+            direction.stats.record_drop(size)
+            return False
+        if direction.queue_depth >= self.max_queue_packets:
+            direction.stats.record_drop(size)
+            return False
+
+        now = self.simulator.now
+        start = max(now, direction.busy_until)
+        serialization = self.serialization_delay(size)
+        direction.busy_until = start + serialization
+        arrival = direction.busy_until + self.delay_s
+
+        direction.queue_depth += 1
+        direction.stats.queued_high_water = max(
+            direction.stats.queued_high_water, direction.queue_depth
+        )
+
+        lost = self.loss_rate > 0.0 and self._rng.random() < self.loss_rate
+        destination = self.peer_of(from_interface)
+        self.simulator.schedule_at(arrival, self._deliver, packet, destination, direction, lost)
+        return True
+
+    def _deliver(
+        self,
+        packet: "Packet",
+        destination: "Interface",
+        direction: _Direction,
+        lost: bool,
+    ) -> None:
+        direction.queue_depth -= 1
+        if lost or not self.up:
+            direction.stats.record_drop(packet.size_bytes)
+            return
+        direction.stats.record_tx(packet.size_bytes)
+        packet.hops += 1
+        destination.deliver(packet)
+
+    # --------------------------------------------------------- management
+
+    def set_up(self, up: bool) -> None:
+        """Administratively enable or disable the link (failure injection)."""
+        self.up = up
+
+    def stats(self, from_interface: "Interface") -> LinkStats:
+        """Counters for the direction whose transmissions originate at ``from_interface``."""
+        key = "a_to_b" if from_interface is self.endpoint_a else "b_to_a"
+        return self._directions[key].stats
+
+    @property
+    def total_stats(self) -> LinkStats:
+        """Aggregated counters across both directions."""
+        combined = LinkStats()
+        for direction in self._directions.values():
+            combined.tx_packets += direction.stats.tx_packets
+            combined.tx_bytes += direction.stats.tx_bytes
+            combined.dropped_packets += direction.stats.dropped_packets
+            combined.dropped_bytes += direction.stats.dropped_bytes
+            combined.queued_high_water = max(
+                combined.queued_high_water, direction.stats.queued_high_water
+            )
+        return combined
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Link({self.name!r}, {self.bandwidth_bps / 1e6:.0f} Mbps, "
+            f"{self.delay_s * 1e3:.2f} ms, up={self.up})"
+        )

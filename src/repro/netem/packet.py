@@ -1,0 +1,474 @@
+"""Explicit packet model used across the emulated dataplane.
+
+The paper's NFs (iptables firewall, HTTP filter, DNS load balancer) match and
+modify specific header fields, so packets here carry structured Ethernet,
+IPv4 and transport headers plus optional HTTP / DNS application payloads.
+Sizes are tracked in bytes so links can model serialization delay and the
+telemetry subsystem can report the same "network traffic" statistics the demo
+UI shows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple, Union
+
+# Protocol numbers mirror IANA assignments so firewall rules read naturally.
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+BROADCAST_MAC = "ff:ff:ff:ff:ff:ff"
+
+ETHERNET_HEADER_BYTES = 14
+IPV4_HEADER_BYTES = 20
+TCP_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+ICMP_HEADER_BYTES = 8
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class EthernetHeader:
+    """Layer-2 header."""
+
+    src: str
+    dst: str
+    ethertype: int = ETHERTYPE_IPV4
+
+    def swapped(self) -> "EthernetHeader":
+        """Return a copy with source and destination exchanged."""
+        return EthernetHeader(src=self.dst, dst=self.src, ethertype=self.ethertype)
+
+
+@dataclass
+class IPv4Header:
+    """Layer-3 header (only the fields the NFs and switches inspect)."""
+
+    src: str
+    dst: str
+    protocol: int = PROTO_TCP
+    ttl: int = 64
+    dscp: int = 0
+
+    def swapped(self) -> "IPv4Header":
+        return IPv4Header(src=self.dst, dst=self.src, protocol=self.protocol, ttl=64, dscp=self.dscp)
+
+
+@dataclass
+class TCPHeader:
+    """Simplified TCP header: ports plus the flags firewalls care about."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    syn: bool = False
+    fin: bool = False
+    rst: bool = False
+    ack_flag: bool = False
+
+    def swapped(self) -> "TCPHeader":
+        return TCPHeader(
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            seq=self.ack,
+            ack=self.seq,
+            ack_flag=True,
+        )
+
+
+@dataclass
+class UDPHeader:
+    """Simplified UDP header."""
+
+    src_port: int
+    dst_port: int
+
+    def swapped(self) -> "UDPHeader":
+        return UDPHeader(src_port=self.dst_port, dst_port=self.src_port)
+
+
+@dataclass
+class ICMPHeader:
+    """ICMP echo header (used by the latency probes in the benchmarks)."""
+
+    icmp_type: int = 8  # echo request
+    code: int = 0
+    identifier: int = 0
+    sequence: int = 0
+
+    def reply(self) -> "ICMPHeader":
+        return ICMPHeader(icmp_type=0, code=0, identifier=self.identifier, sequence=self.sequence)
+
+
+@dataclass
+class HTTPRequest:
+    """Application payload for web traffic (what the HTTP filter inspects)."""
+
+    method: str
+    host: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body_bytes: int = 0
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}{self.path}"
+
+
+@dataclass
+class HTTPResponse:
+    """Application payload for web responses."""
+
+    status: int
+    content_type: str = "text/html"
+    body_bytes: int = 0
+    headers: Dict[str, str] = field(default_factory=dict)
+    request_url: str = ""
+
+
+@dataclass
+class DNSQuery:
+    """DNS question (what the DNS load balancer rewrites answers for)."""
+
+    name: str
+    qtype: str = "A"
+    query_id: int = 0
+
+
+@dataclass
+class DNSResponse:
+    """DNS answer."""
+
+    name: str
+    addresses: Tuple[str, ...] = ()
+    qtype: str = "A"
+    query_id: int = 0
+    ttl: int = 60
+
+
+TransportHeader = Union[TCPHeader, UDPHeader, ICMPHeader]
+ApplicationPayload = Union[HTTPRequest, HTTPResponse, DNSQuery, DNSResponse, None]
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """Bidirectional-unaware five-tuple identifying a flow."""
+
+    src_ip: str
+    dst_ip: str
+    protocol: int
+    src_port: int = 0
+    dst_port: int = 0
+
+    def reversed(self) -> "FlowKey":
+        return FlowKey(
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            protocol=self.protocol,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+        )
+
+    def canonical(self) -> "FlowKey":
+        """Direction-independent representation (smallest endpoint first)."""
+        forward = (self.src_ip, self.src_port)
+        backward = (self.dst_ip, self.dst_port)
+        if forward <= backward:
+            return self
+        return self.reversed()
+
+
+class Packet:
+    """A single packet traversing the emulated network.
+
+    Packets are mutable on purpose: NFs rewrite headers (NAT, DNS load
+    balancer) exactly as their real counterparts would.  ``copy()`` produces
+    a deep-enough clone for fan-out situations (e.g. flooding).
+    """
+
+    __slots__ = (
+        "packet_id",
+        "eth",
+        "ip",
+        "l4",
+        "app",
+        "payload_bytes",
+        "created_at",
+        "metadata",
+        "hops",
+    )
+
+    def __init__(
+        self,
+        eth: Optional[EthernetHeader] = None,
+        ip: Optional[IPv4Header] = None,
+        l4: Optional[TransportHeader] = None,
+        app: ApplicationPayload = None,
+        payload_bytes: int = 0,
+        created_at: float = 0.0,
+    ) -> None:
+        self.packet_id = next(_packet_ids)
+        self.eth = eth
+        self.ip = ip
+        self.l4 = l4
+        self.app = app
+        self.payload_bytes = payload_bytes
+        self.created_at = created_at
+        self.metadata: Dict[str, object] = {}
+        self.hops = 0
+
+    # -------------------------------------------------------------- size
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-the-wire size, derived from present headers + payload."""
+        size = self.payload_bytes
+        if self.eth is not None:
+            size += ETHERNET_HEADER_BYTES
+        if self.ip is not None:
+            size += IPV4_HEADER_BYTES
+        if isinstance(self.l4, TCPHeader):
+            size += TCP_HEADER_BYTES
+        elif isinstance(self.l4, UDPHeader):
+            size += UDP_HEADER_BYTES
+        elif isinstance(self.l4, ICMPHeader):
+            size += ICMP_HEADER_BYTES
+        if isinstance(self.app, HTTPRequest):
+            size += 200 + self.app.body_bytes  # request line + headers estimate
+        elif isinstance(self.app, HTTPResponse):
+            size += 200 + self.app.body_bytes
+        elif isinstance(self.app, (DNSQuery, DNSResponse)):
+            size += 48
+        return max(size, 64)
+
+    # ------------------------------------------------------------- helpers
+
+    @property
+    def flow_key(self) -> Optional[FlowKey]:
+        """Five-tuple of the packet, or ``None`` for non-IP packets."""
+        if self.ip is None:
+            return None
+        src_port = dst_port = 0
+        if isinstance(self.l4, (TCPHeader, UDPHeader)):
+            src_port = self.l4.src_port
+            dst_port = self.l4.dst_port
+        return FlowKey(
+            src_ip=self.ip.src,
+            dst_ip=self.ip.dst,
+            protocol=self.ip.protocol,
+            src_port=src_port,
+            dst_port=dst_port,
+        )
+
+    @property
+    def is_tcp(self) -> bool:
+        return isinstance(self.l4, TCPHeader)
+
+    @property
+    def is_udp(self) -> bool:
+        return isinstance(self.l4, UDPHeader)
+
+    @property
+    def is_icmp(self) -> bool:
+        return isinstance(self.l4, ICMPHeader)
+
+    def copy(self) -> "Packet":
+        """Clone the packet (new identity, copied headers and metadata)."""
+        clone = Packet(
+            eth=replace(self.eth) if self.eth is not None else None,
+            ip=replace(self.ip) if self.ip is not None else None,
+            l4=replace(self.l4) if self.l4 is not None else None,
+            app=replace(self.app) if self.app is not None else None,
+            payload_bytes=self.payload_bytes,
+            created_at=self.created_at,
+        )
+        clone.metadata = dict(self.metadata)
+        clone.hops = self.hops
+        return clone
+
+    def decrement_ttl(self) -> bool:
+        """Decrement the IP TTL; returns False if the packet must be dropped."""
+        if self.ip is None:
+            return True
+        self.ip.ttl -= 1
+        return self.ip.ttl > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        proto = {PROTO_TCP: "TCP", PROTO_UDP: "UDP", PROTO_ICMP: "ICMP"}.get(
+            self.ip.protocol if self.ip else -1, "?"
+        )
+        if self.ip is None:
+            return f"Packet(#{self.packet_id}, L2 only)"
+        ports = ""
+        if isinstance(self.l4, (TCPHeader, UDPHeader)):
+            ports = f":{self.l4.src_port}->:{self.l4.dst_port}"
+        return (
+            f"Packet(#{self.packet_id}, {proto} {self.ip.src}->{self.ip.dst}{ports}, "
+            f"{self.size_bytes}B)"
+        )
+
+
+# --------------------------------------------------------------------------
+# Packet construction helpers used by traffic generators, NFs and tests.
+# --------------------------------------------------------------------------
+
+
+def make_tcp_packet(
+    src_ip: str,
+    dst_ip: str,
+    src_port: int,
+    dst_port: int,
+    payload_bytes: int = 0,
+    src_mac: str = "00:00:00:00:00:01",
+    dst_mac: str = "00:00:00:00:00:02",
+    app: ApplicationPayload = None,
+    syn: bool = False,
+    created_at: float = 0.0,
+) -> Packet:
+    """Build a TCP packet with sensible defaults."""
+    return Packet(
+        eth=EthernetHeader(src=src_mac, dst=dst_mac),
+        ip=IPv4Header(src=src_ip, dst=dst_ip, protocol=PROTO_TCP),
+        l4=TCPHeader(src_port=src_port, dst_port=dst_port, syn=syn),
+        app=app,
+        payload_bytes=payload_bytes,
+        created_at=created_at,
+    )
+
+
+def make_udp_packet(
+    src_ip: str,
+    dst_ip: str,
+    src_port: int,
+    dst_port: int,
+    payload_bytes: int = 0,
+    src_mac: str = "00:00:00:00:00:01",
+    dst_mac: str = "00:00:00:00:00:02",
+    app: ApplicationPayload = None,
+    created_at: float = 0.0,
+) -> Packet:
+    """Build a UDP packet with sensible defaults."""
+    return Packet(
+        eth=EthernetHeader(src=src_mac, dst=dst_mac),
+        ip=IPv4Header(src=src_ip, dst=dst_ip, protocol=PROTO_UDP),
+        l4=UDPHeader(src_port=src_port, dst_port=dst_port),
+        app=app,
+        payload_bytes=payload_bytes,
+        created_at=created_at,
+    )
+
+
+def make_icmp_echo(
+    src_ip: str,
+    dst_ip: str,
+    identifier: int = 0,
+    sequence: int = 0,
+    src_mac: str = "00:00:00:00:00:01",
+    dst_mac: str = "00:00:00:00:00:02",
+    created_at: float = 0.0,
+) -> Packet:
+    """Build an ICMP echo request (used by latency probes)."""
+    return Packet(
+        eth=EthernetHeader(src=src_mac, dst=dst_mac),
+        ip=IPv4Header(src=src_ip, dst=dst_ip, protocol=PROTO_ICMP),
+        l4=ICMPHeader(identifier=identifier, sequence=sequence),
+        payload_bytes=56,
+        created_at=created_at,
+    )
+
+
+def make_http_request(
+    src_ip: str,
+    dst_ip: str,
+    host: str,
+    path: str = "/",
+    method: str = "GET",
+    src_port: int = 49152,
+    dst_port: int = 80,
+    created_at: float = 0.0,
+) -> Packet:
+    """Build an HTTP request packet."""
+    return make_tcp_packet(
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+        app=HTTPRequest(method=method, host=host, path=path),
+        created_at=created_at,
+    )
+
+
+def make_http_response(
+    request: Packet,
+    status: int = 200,
+    body_bytes: int = 10_000,
+    content_type: str = "text/html",
+    created_at: float = 0.0,
+) -> Packet:
+    """Build the HTTP response matching ``request`` (headers swapped)."""
+    if not isinstance(request.app, HTTPRequest):
+        raise ValueError("make_http_response() needs a packet carrying an HTTPRequest")
+    assert request.eth is not None and request.ip is not None and isinstance(request.l4, TCPHeader)
+    return Packet(
+        eth=request.eth.swapped(),
+        ip=request.ip.swapped(),
+        l4=request.l4.swapped(),
+        app=HTTPResponse(
+            status=status,
+            content_type=content_type,
+            body_bytes=body_bytes,
+            request_url=request.app.url,
+        ),
+        payload_bytes=0,
+        created_at=created_at,
+    )
+
+
+def make_dns_query(
+    src_ip: str,
+    dst_ip: str,
+    name: str,
+    query_id: int = 0,
+    src_port: int = 53000,
+    created_at: float = 0.0,
+) -> Packet:
+    """Build a DNS query packet (UDP/53)."""
+    return make_udp_packet(
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=53,
+        app=DNSQuery(name=name, query_id=query_id),
+        created_at=created_at,
+    )
+
+
+def make_dns_response(
+    query: Packet,
+    addresses: Tuple[str, ...],
+    ttl: int = 60,
+    created_at: float = 0.0,
+) -> Packet:
+    """Build the DNS answer for ``query`` (headers swapped)."""
+    if not isinstance(query.app, DNSQuery):
+        raise ValueError("make_dns_response() needs a packet carrying a DNSQuery")
+    assert query.eth is not None and query.ip is not None and isinstance(query.l4, UDPHeader)
+    return Packet(
+        eth=query.eth.swapped(),
+        ip=query.ip.swapped(),
+        l4=query.l4.swapped(),
+        app=DNSResponse(
+            name=query.app.name,
+            addresses=tuple(addresses),
+            query_id=query.app.query_id,
+            ttl=ttl,
+        ),
+        created_at=created_at,
+    )

@@ -1,0 +1,93 @@
+"""Static IP routing helpers.
+
+The emulated testbed mostly relies on the gateway's mobility-anchor
+forwarding (see :mod:`repro.netem.topology`), but routers, tests and the
+latency benchmarks also need a general longest-prefix-match routing table and
+a way to derive next hops from the topology graph.  ``compute_routes`` uses
+:mod:`networkx` shortest paths weighted by link delay, which is how the
+reproduction decides the "closest Agent" for NF placement as well.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """A routing table entry: destination prefix -> (next hop, interface)."""
+
+    prefix: str
+    next_hop: str
+    interface_name: str
+    metric: float = 1.0
+
+    @property
+    def network(self) -> ipaddress.IPv4Network:
+        return ipaddress.ip_network(self.prefix)
+
+
+class RoutingTable:
+    """Longest-prefix-match IPv4 routing table."""
+
+    def __init__(self) -> None:
+        self._entries: List[RouteEntry] = []
+
+    def add_route(self, prefix: str, next_hop: str, interface_name: str, metric: float = 1.0) -> RouteEntry:
+        """Install a route; more-specific prefixes automatically win lookups."""
+        entry = RouteEntry(prefix=prefix, next_hop=next_hop, interface_name=interface_name, metric=metric)
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: (-e.network.prefixlen, e.metric))
+        return entry
+
+    def remove_route(self, prefix: str) -> bool:
+        """Remove every entry for ``prefix``; returns True if any was removed."""
+        before = len(self._entries)
+        self._entries = [entry for entry in self._entries if entry.prefix != prefix]
+        return len(self._entries) != before
+
+    def lookup(self, destination: str) -> Optional[RouteEntry]:
+        """Longest-prefix-match lookup; returns ``None`` when no route covers it."""
+        address = ipaddress.ip_address(destination)
+        for entry in self._entries:
+            if address in entry.network:
+                return entry
+        return None
+
+    def entries(self) -> List[RouteEntry]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def build_topology_graph(links: List[Tuple[Hashable, Hashable, float]]) -> nx.Graph:
+    """Build an undirected delay-weighted graph from (node, node, delay) triples."""
+    graph = nx.Graph()
+    for node_a, node_b, delay in links:
+        graph.add_edge(node_a, node_b, weight=delay)
+    return graph
+
+
+def compute_routes(
+    graph: nx.Graph,
+    source: Hashable,
+) -> Dict[Hashable, Tuple[List[Hashable], float]]:
+    """Shortest paths (by delay) from ``source`` to every reachable node.
+
+    Returns a mapping ``destination -> (path, total_delay)``.
+    """
+    if source not in graph:
+        raise KeyError(f"source {source!r} not in topology graph")
+    paths = nx.single_source_dijkstra_path(graph, source, weight="weight")
+    lengths = nx.single_source_dijkstra_path_length(graph, source, weight="weight")
+    return {node: (paths[node], lengths[node]) for node in paths}
+
+
+def path_delay(graph: nx.Graph, source: Hashable, destination: Hashable) -> float:
+    """Total propagation delay along the shortest path between two nodes."""
+    return float(nx.dijkstra_path_length(graph, source, destination, weight="weight"))

@@ -1,0 +1,316 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every subsystem in the reproduction (links, container boot times, agent
+heartbeats, client mobility, NF migrations) is driven by a single
+:class:`Simulator` instance.  The kernel is intentionally small and
+dependency-free:
+
+* events are callbacks scheduled at an absolute simulated time,
+* ties are broken by insertion order so runs are fully deterministic,
+* lightweight generator-based processes are supported for code that reads
+  more naturally as sequential logic (e.g. a migration that waits for a
+  checkpoint transfer to finish).
+
+The simulated clock is a float in **seconds**.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation kernel is misused."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry; ordering is (time, sequence)."""
+
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and can be cancelled
+    before they fire.  An event fires exactly once.
+    """
+
+    __slots__ = ("time", "callback", "args", "kwargs", "cancelled", "fired", "name")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        name: str = "",
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.cancelled = False
+        self.fired = False
+        self.name = name or getattr(callback, "__name__", "event")
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling a fired event is a no-op."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has neither fired nor been cancelled."""
+        return not self.cancelled and not self.fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"Event({self.name!r}, t={self.time:.6f}, {state})"
+
+
+class Process:
+    """A generator-based simulated process.
+
+    The wrapped generator may ``yield``:
+
+    * a ``float``/``int`` -- sleep for that many simulated seconds,
+    * an :class:`Event` -- resume immediately after the event fires,
+    * another :class:`Process` -- resume when that process terminates.
+
+    The value sent back into the generator after waiting on an event or a
+    process is the event's callback return value / the process return value.
+    """
+
+    __slots__ = ("simulator", "generator", "name", "finished", "result", "_waiters")
+
+    def __init__(self, simulator: "Simulator", generator: Generator, name: str = "") -> None:
+        self.simulator = simulator
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.finished = False
+        self.result: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    def _step(self, value: Any = None) -> None:
+        if self.finished:
+            return
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            for waiter in self._waiters:
+                waiter(self.result)
+            self._waiters.clear()
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, (int, float)):
+            self.simulator.schedule(float(target), self._step, None)
+        elif isinstance(target, Event):
+            original = target.callback
+
+            def chained(*args: Any, **kwargs: Any) -> Any:
+                result = original(*args, **kwargs)
+                self._step(result)
+                return result
+
+            target.callback = chained
+        elif isinstance(target, Process):
+            if target.finished:
+                self.simulator.schedule(0.0, self._step, target.result)
+            else:
+                target._waiters.append(lambda result: self.simulator.schedule(0.0, self._step, result))
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {target!r}; "
+                "yield a delay, an Event or a Process"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class PeriodicTask:
+    """Handle for a recurring callback created by :meth:`Simulator.every`."""
+
+    __slots__ = ("simulator", "interval", "callback", "args", "kwargs", "stopped", "_event", "jitter_fn")
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        interval: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        jitter_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.interval = interval
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.stopped = False
+        self.jitter_fn = jitter_fn
+        self._event: Optional[Event] = None
+
+    def start(self, initial_delay: Optional[float] = None) -> "PeriodicTask":
+        delay = self.interval if initial_delay is None else initial_delay
+        self._event = self.simulator.schedule(delay, self._fire)
+        return self
+
+    def _fire(self) -> None:
+        if self.stopped:
+            return
+        self.callback(*self.args, **self.kwargs)
+        if self.stopped:
+            return
+        jitter = self.jitter_fn() if self.jitter_fn is not None else 0.0
+        self._event = self.simulator.schedule(max(0.0, self.interval + jitter), self._fire)
+
+    def stop(self) -> None:
+        self.stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> seen = []
+    >>> _ = sim.schedule(1.0, seen.append, "a")
+    >>> _ = sim.schedule(0.5, seen.append, "b")
+    >>> sim.run()
+    >>> seen
+    ['b', 'a']
+    >>> sim.now
+    1.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: List[_QueueEntry] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._event_count = 0
+
+    # ------------------------------------------------------------------ clock
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._event_count
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------- scheduling
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        event = Event(time, callback, args, kwargs)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._sequence), event))
+        return event
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a generator-based :class:`Process` immediately."""
+        proc = Process(self, generator, name=name)
+        self.schedule(0.0, proc._step, None)
+        return proc
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        initial_delay: Optional[float] = None,
+        jitter_fn: Optional[Callable[[], float]] = None,
+        **kwargs: Any,
+    ) -> PeriodicTask:
+        """Run ``callback`` every ``interval`` seconds until the task is stopped."""
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        task = PeriodicTask(self, interval, callback, args, kwargs, jitter_fn=jitter_fn)
+        return task.start(initial_delay=initial_delay)
+
+    # ---------------------------------------------------------------- running
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would advance past this time.  Events at
+            exactly ``until`` are executed.  ``None`` runs to queue
+            exhaustion.
+        max_events:
+            Safety valve -- stop after this many events.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run() call)")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                entry = self._queue[0]
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._queue)
+                event = entry.event
+                if event.cancelled:
+                    continue
+                self._now = entry.time
+                event.fired = True
+                event.callback(*event.args, **event.kwargs)
+                self._event_count += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> float:
+        """Run for ``duration`` additional simulated seconds."""
+        return self.run(until=self._now + duration, max_events=max_events)
+
+    def drain(self, events: Iterable[Event]) -> None:
+        """Cancel a collection of events (convenience for teardown)."""
+        for event in events:
+            event.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Simulator(now={self._now:.6f}, pending={len(self._queue)})"

@@ -1,0 +1,224 @@
+"""The per-station software switch.
+
+Every GNF edge station runs a software switch (a Linux bridge / OVS in the
+real deployment).  Client-facing cells, the uplink towards the gateway and
+every NF container veth pair are plugged into numbered ports.  Forwarding
+follows a two-stage pipeline:
+
+1. the priority :class:`~repro.netem.flowtable.FlowTable` -- where the GNF
+   Agent installs steering rules to push a client's traffic through NF
+   chains ("transparent traffic handling"), and
+2. a learning L2 switch fallback for everything without an explicit rule.
+
+The switch also keeps per-port counters that feed the Manager's "network
+resource consumption" view shown in the demo UI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.netem.flowtable import Action, ActionType, FlowRule, FlowTable
+from repro.netem.host import Host, Interface
+from repro.netem.packet import BROADCAST_MAC, Packet
+from repro.netem.simulator import Simulator
+
+
+@dataclass
+class PortStats:
+    """Per-port packet and byte counters."""
+
+    rx_packets: int = 0
+    rx_bytes: int = 0
+    tx_packets: int = 0
+    tx_bytes: int = 0
+
+
+@dataclass
+class SwitchPort:
+    """A numbered switch port bound to an interface.
+
+    ``no_flood`` marks ports that must never receive flooded traffic -- GNF
+    Agents set it on NF veth ports so network functions only ever see packets
+    explicitly steered to them by flow rules.
+    """
+
+    number: int
+    interface: Interface
+    name: str = ""
+    no_flood: bool = False
+    stats: PortStats = field(default_factory=PortStats)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.interface.name
+
+
+class SoftwareSwitch(Host):
+    """Learning switch with a priority flow table, one per edge station.
+
+    Parameters
+    ----------
+    forwarding_delay_s:
+        Per-packet processing latency of the software datapath.  The default
+        (20 microseconds) approximates a software bridge on a low-end MIPS
+        router like the TP-Link WDR3600 used in the demo.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        forwarding_delay_s: float = 20e-6,
+    ) -> None:
+        super().__init__(simulator, name)
+        self.flow_table = FlowTable(name=f"{name}-flows")
+        self.forwarding_delay_s = forwarding_delay_s
+        self.ports: Dict[int, SwitchPort] = {}
+        self._interface_to_port: Dict[str, int] = {}
+        self.mac_table: Dict[str, int] = {}
+        self._next_port = 1
+        self.packets_forwarded = 0
+        self.packets_flooded = 0
+        self.packets_dropped = 0
+
+    # -------------------------------------------------------------- ports
+
+    def add_port(
+        self,
+        interface: Interface,
+        port_number: Optional[int] = None,
+        no_flood: bool = False,
+    ) -> SwitchPort:
+        """Plug an interface into the switch and return the new port."""
+        if port_number is None:
+            port_number = self._next_port
+        if port_number in self.ports:
+            raise ValueError(f"switch {self.name} already has port {port_number}")
+        self._next_port = max(self._next_port, port_number + 1)
+        self.add_interface(interface)
+        port = SwitchPort(number=port_number, interface=interface, no_flood=no_flood)
+        self.ports[port_number] = port
+        self._interface_to_port[interface.name] = port_number
+        return port
+
+    def remove_port(self, port_number: int) -> None:
+        """Unplug a port (e.g. when an NF container is destroyed)."""
+        port = self.ports.pop(port_number, None)
+        if port is None:
+            return
+        self._interface_to_port.pop(port.interface.name, None)
+        self.interfaces.pop(port.interface.name, None)
+        # Drop any MAC table entries pointing at the removed port.
+        self.mac_table = {mac: p for mac, p in self.mac_table.items() if p != port_number}
+
+    def port_of(self, interface: Interface) -> Optional[int]:
+        """Port number an interface is plugged into, if any."""
+        return self._interface_to_port.get(interface.name)
+
+    def port(self, port_number: int) -> SwitchPort:
+        return self.ports[port_number]
+
+    # ---------------------------------------------------------- forwarding
+
+    def receive_packet(self, packet: Packet, interface: Interface) -> None:
+        self.rx_packets += 1
+        in_port = self._interface_to_port.get(interface.name)
+        if in_port is None:
+            self.packets_dropped += 1
+            return
+        port = self.ports[in_port]
+        port.stats.rx_packets += 1
+        port.stats.rx_bytes += packet.size_bytes
+
+        # Learn the source MAC so the fallback learning switch converges.
+        if packet.eth is not None and packet.eth.src != BROADCAST_MAC:
+            self.mac_table[packet.eth.src] = in_port
+
+        if self.forwarding_delay_s > 0:
+            self.simulator.schedule(self.forwarding_delay_s, self._pipeline, packet, in_port)
+        else:
+            self._pipeline(packet, in_port)
+
+    def _pipeline(self, packet: Packet, in_port: int) -> None:
+        rule = self.flow_table.lookup(packet, in_port)
+        if rule is not None:
+            self._apply_actions(packet, in_port, rule)
+            return
+        self._l2_forward(packet, in_port)
+
+    def _apply_actions(self, packet: Packet, in_port: int, rule: FlowRule) -> None:
+        for action in rule.actions:
+            if action.action_type is ActionType.DROP:
+                self.packets_dropped += 1
+                return
+            if action.action_type is ActionType.OUTPUT:
+                self._output(packet, int(action.value))  # type: ignore[arg-type]
+            elif action.action_type is ActionType.FLOOD:
+                self._flood(packet, in_port)
+            elif action.action_type is ActionType.SET_ETH_DST and packet.eth is not None:
+                packet.eth.dst = str(action.value)
+            elif action.action_type is ActionType.SET_ETH_SRC and packet.eth is not None:
+                packet.eth.src = str(action.value)
+            elif action.action_type is ActionType.SET_IP_DST and packet.ip is not None:
+                packet.ip.dst = str(action.value)
+            elif action.action_type is ActionType.SET_IP_SRC and packet.ip is not None:
+                packet.ip.src = str(action.value)
+            elif action.action_type is ActionType.SET_METADATA:
+                key, value = action.value  # type: ignore[misc]
+                packet.metadata[key] = value
+
+    def _l2_forward(self, packet: Packet, in_port: int) -> None:
+        if packet.eth is None:
+            self.packets_dropped += 1
+            return
+        if packet.eth.dst == BROADCAST_MAC:
+            self._flood(packet, in_port)
+            return
+        out_port = self.mac_table.get(packet.eth.dst)
+        if out_port is None:
+            self._flood(packet, in_port)
+            return
+        if out_port == in_port:
+            self.packets_dropped += 1
+            return
+        self._output(packet, out_port)
+
+    def _output(self, packet: Packet, port_number: int) -> None:
+        port = self.ports.get(port_number)
+        if port is None:
+            self.packets_dropped += 1
+            return
+        port.stats.tx_packets += 1
+        port.stats.tx_bytes += packet.size_bytes
+        self.packets_forwarded += 1
+        self.tx_packets += 1
+        port.interface.send(packet)
+
+    def _flood(self, packet: Packet, in_port: int) -> None:
+        self.packets_flooded += 1
+        for number, port in self.ports.items():
+            if number == in_port or port.no_flood:
+                continue
+            port.stats.tx_packets += 1
+            port.stats.tx_bytes += packet.size_bytes
+            self.tx_packets += 1
+            port.interface.send(packet.copy())
+
+    # -------------------------------------------------------------- stats
+
+    def port_stats(self) -> Dict[int, PortStats]:
+        """Snapshot of per-port counters keyed by port number."""
+        return {number: port.stats for number, port in self.ports.items()}
+
+    def summary(self) -> Dict[str, int]:
+        """Aggregate switch statistics (fed into Agent heartbeats)."""
+        return {
+            "ports": len(self.ports),
+            "flow_rules": len(self.flow_table),
+            "packets_forwarded": self.packets_forwarded,
+            "packets_flooded": self.packets_flooded,
+            "packets_dropped": self.packets_dropped,
+            "mac_entries": len(self.mac_table),
+        }

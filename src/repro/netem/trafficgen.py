@@ -1,0 +1,374 @@
+"""Workload generators.
+
+The demo attaches NFs to the traffic of smartphones browsing the web,
+resolving names and streaming video.  These generators reproduce those
+workloads on the emulated clients so every benchmark has deterministic,
+repeatable traffic:
+
+* :class:`CBRTrafficGenerator` -- constant-bit-rate UDP probes (echoed by the
+  server) used for latency/throughput measurement.
+* :class:`HTTPWorkloadGenerator` -- web sessions with think times; observes
+  blocked pages so the HTTP-filter NF's effect is measurable end-to-end.
+* :class:`DNSWorkloadGenerator` -- name lookups; records the answers so the
+  DNS load balancer NF's rewrites are observable.
+* :class:`VideoWorkloadGenerator` -- periodic segment bursts approximating
+  adaptive streaming.
+
+Generators talk to any object satisfying :class:`TrafficEndpoint` (the
+wireless :class:`~repro.wireless.client.MobileClient` in practice).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+from repro.netem import packet as pkt
+from repro.netem.packet import Packet
+from repro.netem.simulator import Simulator
+
+_generator_ids = itertools.count(1)
+
+
+class TrafficEndpoint(Protocol):
+    """What a generator needs from the host it runs on."""
+
+    ip: str
+    mac: str
+
+    def send_packet(self, packet: Packet) -> bool:
+        """Transmit a packet towards the network."""
+
+    def add_receive_listener(self, listener: Callable[[Packet], None]) -> None:
+        """Register a callback invoked for every packet the endpoint receives."""
+
+
+@dataclass
+class LatencySample:
+    """One request/response latency observation."""
+
+    sent_at: float
+    received_at: float
+
+    @property
+    def rtt(self) -> float:
+        return self.received_at - self.sent_at
+
+
+class _GeneratorBase:
+    """Shared bookkeeping for all generators."""
+
+    def __init__(self, simulator: Simulator, client: TrafficEndpoint, name: str = "") -> None:
+        self.simulator = simulator
+        self.client = client
+        self.generator_id = next(_generator_ids)
+        self.name = name or f"{type(self).__name__}-{self.generator_id}"
+        self.running = False
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.responses_received = 0
+        self.latency_samples: List[LatencySample] = []
+        client.add_receive_listener(self._on_receive)
+
+    # ------------------------------------------------------------ control
+
+    def start(self) -> "_GeneratorBase":
+        self.running = True
+        self._schedule_next(initial=True)
+        return self
+
+    def stop(self) -> None:
+        self.running = False
+
+    # ------------------------------------------------------------- hooks
+
+    def _schedule_next(self, initial: bool = False) -> None:
+        raise NotImplementedError
+
+    def _on_receive(self, packet: Packet) -> None:
+        if packet.metadata.get("probe_gen") != self.generator_id:
+            return
+        self.responses_received += 1
+        sent_at = packet.metadata.get("request_created_at")
+        if isinstance(sent_at, (int, float)):
+            self.latency_samples.append(
+                LatencySample(sent_at=float(sent_at), received_at=self.simulator.now)
+            )
+        self._handle_response(packet)
+
+    def _handle_response(self, packet: Packet) -> None:
+        """Subclass hook for protocol-specific response handling."""
+
+    def _stamp_and_send(self, packet: Packet) -> None:
+        packet.metadata["probe_gen"] = self.generator_id
+        packet.created_at = self.simulator.now
+        packet.metadata["request_created_at"] = self.simulator.now
+        self.packets_sent += 1
+        self.bytes_sent += packet.size_bytes
+        self.client.send_packet(packet)
+
+    # -------------------------------------------------------------- stats
+
+    @property
+    def rtts(self) -> List[float]:
+        return [sample.rtt for sample in self.latency_samples]
+
+    def mean_rtt(self) -> float:
+        rtts = self.rtts
+        return sum(rtts) / len(rtts) if rtts else 0.0
+
+    def loss_rate(self) -> float:
+        """Fraction of sent requests with no observed response."""
+        if self.packets_sent == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.responses_received / self.packets_sent)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "packets_sent": float(self.packets_sent),
+            "bytes_sent": float(self.bytes_sent),
+            "responses_received": float(self.responses_received),
+            "mean_rtt_s": self.mean_rtt(),
+            "loss_rate": self.loss_rate(),
+        }
+
+
+class CBRTrafficGenerator(_GeneratorBase):
+    """Constant-bit-rate UDP generator; the server echoes every packet back."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        client: TrafficEndpoint,
+        server_ip: str,
+        rate_pps: float = 100.0,
+        payload_bytes: int = 500,
+        dst_port: int = 9000,
+        duration_s: Optional[float] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(simulator, client, name=name)
+        if rate_pps <= 0:
+            raise ValueError(f"rate_pps must be positive, got {rate_pps}")
+        self.server_ip = server_ip
+        self.rate_pps = rate_pps
+        self.payload_bytes = payload_bytes
+        self.dst_port = dst_port
+        self.duration_s = duration_s
+        self._started_at: Optional[float] = None
+        self._sequence = 0
+
+    def _schedule_next(self, initial: bool = False) -> None:
+        if not self.running:
+            return
+        if initial:
+            self._started_at = self.simulator.now
+            self.simulator.schedule(0.0, self._tick)
+        else:
+            self.simulator.schedule(1.0 / self.rate_pps, self._tick)
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        if (
+            self.duration_s is not None
+            and self._started_at is not None
+            and self.simulator.now - self._started_at >= self.duration_s
+        ):
+            self.running = False
+            return
+        packet = pkt.make_udp_packet(
+            src_ip=self.client.ip,
+            dst_ip=self.server_ip,
+            src_port=40_000 + (self.generator_id % 1000),
+            dst_port=self.dst_port,
+            payload_bytes=self.payload_bytes,
+            src_mac=self.client.mac,
+        )
+        packet.metadata["probe_seq"] = self._sequence
+        self._sequence += 1
+        self._stamp_and_send(packet)
+        self._schedule_next()
+
+
+class HTTPWorkloadGenerator(_GeneratorBase):
+    """Web browsing workload with exponential think times."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        client: TrafficEndpoint,
+        server_ip: str,
+        sites: Sequence[str] = ("example.com", "news.example.org", "video.example.net"),
+        mean_think_time_s: float = 2.0,
+        paths: Sequence[str] = ("/", "/index.html", "/article", "/media/clip"),
+        seed: int = 7,
+        name: str = "",
+    ) -> None:
+        super().__init__(simulator, client, name=name)
+        self.server_ip = server_ip
+        self.sites = list(sites)
+        self.paths = list(paths)
+        self.mean_think_time_s = mean_think_time_s
+        self._rng = random.Random(seed)
+        self.pages_fetched = 0
+        self.pages_blocked = 0
+        self.bytes_downloaded = 0
+
+    def _schedule_next(self, initial: bool = False) -> None:
+        if not self.running:
+            return
+        delay = 0.0 if initial else self._rng.expovariate(1.0 / self.mean_think_time_s)
+        self.simulator.schedule(delay, self._fetch_page)
+
+    def _fetch_page(self) -> None:
+        if not self.running:
+            return
+        host = self._rng.choice(self.sites)
+        path = self._rng.choice(self.paths)
+        request = pkt.make_http_request(
+            src_ip=self.client.ip,
+            dst_ip=self.server_ip,
+            host=host,
+            path=path,
+            src_port=49152 + (self.packets_sent % 1000),
+        )
+        if request.eth is not None:
+            request.eth.src = self.client.mac
+        self._stamp_and_send(request)
+        self._schedule_next()
+
+    def _handle_response(self, packet: Packet) -> None:
+        if isinstance(packet.app, pkt.HTTPResponse):
+            if packet.app.status in (403, 451):
+                self.pages_blocked += 1
+            else:
+                self.pages_fetched += 1
+                self.bytes_downloaded += packet.app.body_bytes
+
+    def stats(self) -> Dict[str, float]:
+        combined = super().stats()
+        combined.update(
+            {
+                "pages_fetched": float(self.pages_fetched),
+                "pages_blocked": float(self.pages_blocked),
+                "bytes_downloaded": float(self.bytes_downloaded),
+            }
+        )
+        return combined
+
+
+class DNSWorkloadGenerator(_GeneratorBase):
+    """Periodic DNS lookups; remembers which addresses each name resolved to."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        client: TrafficEndpoint,
+        resolver_ip: str,
+        names: Sequence[str] = ("cdn.example.com", "api.example.com"),
+        query_interval_s: float = 1.0,
+        seed: int = 11,
+        name: str = "",
+    ) -> None:
+        super().__init__(simulator, client, name=name)
+        self.resolver_ip = resolver_ip
+        self.names = list(names)
+        self.query_interval_s = query_interval_s
+        self._rng = random.Random(seed)
+        self._query_id = 0
+        self.answers: Dict[str, List[str]] = {}
+
+    def _schedule_next(self, initial: bool = False) -> None:
+        if not self.running:
+            return
+        delay = 0.0 if initial else self.query_interval_s
+        self.simulator.schedule(delay, self._query)
+
+    def _query(self) -> None:
+        if not self.running:
+            return
+        lookup_name = self._rng.choice(self.names)
+        self._query_id += 1
+        query = pkt.make_dns_query(
+            src_ip=self.client.ip,
+            dst_ip=self.resolver_ip,
+            name=lookup_name,
+            query_id=self._query_id,
+            src_port=53000 + (self._query_id % 1000),
+            created_at=self.simulator.now,
+        )
+        query.eth.src = self.client.mac  # type: ignore[union-attr]
+        self._stamp_and_send(query)
+        self._schedule_next()
+
+    def _handle_response(self, packet: Packet) -> None:
+        if isinstance(packet.app, pkt.DNSResponse):
+            self.answers.setdefault(packet.app.name, []).extend(packet.app.addresses)
+
+    def resolution_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per name, how many times each address was returned (DNS-LB evidence)."""
+        counts: Dict[str, Dict[str, int]] = {}
+        for lookup_name, addresses in self.answers.items():
+            per_name = counts.setdefault(lookup_name, {})
+            for address in addresses:
+                per_name[address] = per_name.get(address, 0) + 1
+        return counts
+
+
+class VideoWorkloadGenerator(_GeneratorBase):
+    """Segment-based video streaming approximation.
+
+    Every ``segment_interval_s`` the client requests a segment; the segment
+    arrives as a burst of UDP-echoed packets, which is enough to exercise the
+    rate limiter and cache NFs and to produce the sustained traffic curves
+    the demo UI displays.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        client: TrafficEndpoint,
+        server_ip: str,
+        segment_interval_s: float = 2.0,
+        packets_per_segment: int = 20,
+        payload_bytes: int = 1200,
+        name: str = "",
+    ) -> None:
+        super().__init__(simulator, client, name=name)
+        self.server_ip = server_ip
+        self.segment_interval_s = segment_interval_s
+        self.packets_per_segment = packets_per_segment
+        self.payload_bytes = payload_bytes
+        self.segments_requested = 0
+
+    def _schedule_next(self, initial: bool = False) -> None:
+        if not self.running:
+            return
+        delay = 0.0 if initial else self.segment_interval_s
+        self.simulator.schedule(delay, self._request_segment)
+
+    def _request_segment(self) -> None:
+        if not self.running:
+            return
+        self.segments_requested += 1
+        for index in range(self.packets_per_segment):
+            packet = pkt.make_udp_packet(
+                src_ip=self.client.ip,
+                dst_ip=self.server_ip,
+                src_port=45_000,
+                dst_port=8433,
+                payload_bytes=self.payload_bytes,
+                src_mac=self.client.mac,
+            )
+            packet.metadata["probe_seq"] = (self.segments_requested, index)
+            # Spread the burst over a millisecond so queues see back-to-back packets.
+            self.simulator.schedule(index * 0.00005, self._stamp_and_send, packet)
+        self._schedule_next()
+
+    def stats(self) -> Dict[str, float]:
+        combined = super().stats()
+        combined["segments_requested"] = float(self.segments_requested)
+        return combined

@@ -1,0 +1,92 @@
+"""Network function implementations.
+
+The demo ships three NFs (an iptables-based packet firewall, an HTTP filter
+and a DNS load balancer, Section 4); the GNF catalogue on github.com/glanf
+contains several more.  This package implements them as pure packet
+processors over the :mod:`repro.netem.packet` model:
+
+* :mod:`repro.nfs.base` -- the ``NetworkFunction`` contract (process,
+  notifications, exportable state for migration).
+* :mod:`repro.nfs.firewall` -- ordered-rule stateful firewall.
+* :mod:`repro.nfs.http_filter` -- URL / content-type filter.
+* :mod:`repro.nfs.dns_loadbalancer` -- rewrites DNS answers across a backend
+  pool.
+* :mod:`repro.nfs.rate_limiter` -- token-bucket policer.
+* :mod:`repro.nfs.nat` -- source NAT.
+* :mod:`repro.nfs.cache` -- edge HTTP object cache.
+* :mod:`repro.nfs.ids` -- signature/anomaly intrusion detector (the source of
+  the Manager notifications described in Section 3).
+* :mod:`repro.nfs.flow_monitor` -- passive per-flow statistics.
+* :mod:`repro.nfs.load_balancer` -- L4 connection load balancer.
+
+``create_nf`` instantiates an NF from the dotted class path stored in a
+container image, which is how Agents turn a pulled image into a running
+function.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Dict, Type
+
+from repro.nfs.base import NetworkFunction, ProcessingContext, Direction, NFNotification
+from repro.nfs.firewall import Firewall, FirewallRule, FirewallAction
+from repro.nfs.http_filter import HTTPFilter
+from repro.nfs.dns_loadbalancer import DNSLoadBalancer
+from repro.nfs.rate_limiter import RateLimiter
+from repro.nfs.nat import NAT
+from repro.nfs.cache import EdgeCache
+from repro.nfs.ids import IntrusionDetector
+from repro.nfs.flow_monitor import FlowMonitor
+from repro.nfs.load_balancer import L4LoadBalancer
+
+#: Human-friendly catalogue used by examples and the UI.
+NF_CATALOG: Dict[str, Type[NetworkFunction]] = {
+    "firewall": Firewall,
+    "http-filter": HTTPFilter,
+    "dns-loadbalancer": DNSLoadBalancer,
+    "rate-limiter": RateLimiter,
+    "nat": NAT,
+    "cache": EdgeCache,
+    "ids": IntrusionDetector,
+    "flow-monitor": FlowMonitor,
+    "load-balancer": L4LoadBalancer,
+}
+
+
+def create_nf(class_path: str, **kwargs: Any) -> NetworkFunction:
+    """Instantiate a network function from its dotted class path.
+
+    ``class_path`` is the ``nf_class`` recorded in a container image, e.g.
+    ``"repro.nfs.firewall.Firewall"``.  Keyword arguments are forwarded to
+    the NF constructor (deployment-time configuration from the Manager).
+    """
+    module_name, _, class_name = class_path.rpartition(".")
+    if not module_name:
+        raise ValueError(f"invalid NF class path {class_path!r}")
+    module = importlib.import_module(module_name)
+    nf_class = getattr(module, class_name)
+    if not issubclass(nf_class, NetworkFunction):
+        raise TypeError(f"{class_path} is not a NetworkFunction")
+    return nf_class(**kwargs)
+
+
+__all__ = [
+    "NetworkFunction",
+    "ProcessingContext",
+    "Direction",
+    "NFNotification",
+    "Firewall",
+    "FirewallRule",
+    "FirewallAction",
+    "HTTPFilter",
+    "DNSLoadBalancer",
+    "RateLimiter",
+    "NAT",
+    "EdgeCache",
+    "IntrusionDetector",
+    "FlowMonitor",
+    "L4LoadBalancer",
+    "NF_CATALOG",
+    "create_nf",
+]

@@ -1,0 +1,191 @@
+"""Edge HTTP object cache.
+
+One of the canonical edge services the paper motivates ("network services
+such as firewalls, caches, rate limiters").  The cache answers repeated HTTP
+requests locally from the edge station, which is exactly the latency/backhaul
+saving that justifies pushing NFs to the edge; the cached objects are part of
+the migratable state, so a roaming client keeps its warm cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.netem.packet import HTTPRequest, HTTPResponse, Packet
+from repro.nfs.base import Direction, NetworkFunction, ProcessingContext
+
+
+@dataclass
+class CachedObject:
+    """One cached HTTP response body."""
+
+    url: str
+    status: int
+    content_type: str
+    body_bytes: int
+    stored_at: float
+
+
+class EdgeCache(NetworkFunction):
+    """LRU cache keyed by request URL."""
+
+    nf_type = "cache"
+    per_packet_cpu_us = 20.0
+    base_state_mb = 2.0
+
+    def __init__(
+        self,
+        name: str = "",
+        capacity_mb: float = 16.0,
+        ttl_s: float = 300.0,
+        cacheable_statuses: tuple = (200,),
+    ) -> None:
+        super().__init__(name=name)
+        if capacity_mb <= 0:
+            raise ValueError(f"capacity_mb must be positive, got {capacity_mb}")
+        self.capacity_mb = capacity_mb
+        self.ttl_s = ttl_s
+        self.cacheable_statuses = cacheable_statuses
+        self._objects: "OrderedDict[str, CachedObject]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bytes_served_from_cache = 0
+
+    # --------------------------------------------------------------- cache
+
+    @property
+    def used_mb(self) -> float:
+        return sum(obj.body_bytes for obj in self._objects.values()) / 1e6
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _evict_if_needed(self) -> None:
+        while self._objects and self.used_mb > self.capacity_mb:
+            self._objects.popitem(last=False)
+            self.evictions += 1
+
+    def _lookup(self, url: str, now: float) -> Optional[CachedObject]:
+        cached = self._objects.get(url)
+        if cached is None:
+            return None
+        if now - cached.stored_at > self.ttl_s:
+            del self._objects[url]
+            return None
+        self._objects.move_to_end(url)
+        return cached
+
+    def _store(self, url: str, response: HTTPResponse, now: float) -> None:
+        if response.status not in self.cacheable_statuses:
+            return
+        self._objects[url] = CachedObject(
+            url=url,
+            status=response.status,
+            content_type=response.content_type,
+            body_bytes=response.body_bytes,
+            stored_at=now,
+        )
+        self._objects.move_to_end(url)
+        self._evict_if_needed()
+
+    # ------------------------------------------------------------ dataplane
+
+    def _process(self, packet: Packet, context: ProcessingContext) -> List[Packet]:
+        if isinstance(packet.app, HTTPRequest) and context.direction is Direction.UPSTREAM:
+            cached = self._lookup(packet.app.url, context.now)
+            if cached is None:
+                self.misses += 1
+                return [packet]
+            self.hits += 1
+            self.bytes_served_from_cache += cached.body_bytes
+            return [self._response_from_cache(packet, cached, context)]
+        if isinstance(packet.app, HTTPResponse) and context.direction is Direction.DOWNSTREAM:
+            if packet.app.request_url:
+                self._store(packet.app.request_url, packet.app, context.now)
+            return [packet]
+        return [packet]
+
+    def _response_from_cache(
+        self, request_packet: Packet, cached: CachedObject, context: ProcessingContext
+    ) -> Packet:
+        response = request_packet.copy()
+        assert response.eth is not None and response.ip is not None and response.l4 is not None
+        response.eth = response.eth.swapped()
+        response.ip = response.ip.swapped()
+        response.l4 = response.l4.swapped()  # type: ignore[union-attr]
+        response.app = HTTPResponse(
+            status=cached.status,
+            content_type=cached.content_type,
+            body_bytes=cached.body_bytes,
+            request_url=cached.url,
+            headers={"X-Cache": "HIT"},
+        )
+        response.created_at = context.now
+        return response
+
+    # ------------------------------------------------------------ migration
+
+    def export_state(self) -> Dict[str, object]:
+        state = super().export_state()
+        state.update(
+            {
+                "capacity_mb": self.capacity_mb,
+                "ttl_s": self.ttl_s,
+                "objects": [
+                    {
+                        "url": obj.url,
+                        "status": obj.status,
+                        "content_type": obj.content_type,
+                        "body_bytes": obj.body_bytes,
+                        "stored_at": obj.stored_at,
+                    }
+                    for obj in self._objects.values()
+                ],
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+        )
+        return state
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        super().import_state(state)
+        self.capacity_mb = float(state.get("capacity_mb", self.capacity_mb))
+        self.ttl_s = float(state.get("ttl_s", self.ttl_s))
+        objects = state.get("objects")
+        if isinstance(objects, list):
+            self._objects = OrderedDict()
+            for entry in objects:
+                cached = CachedObject(
+                    url=str(entry["url"]),
+                    status=int(entry["status"]),
+                    content_type=str(entry["content_type"]),
+                    body_bytes=int(entry["body_bytes"]),
+                    stored_at=float(entry["stored_at"]),
+                )
+                self._objects[cached.url] = cached
+        self.hits = int(state.get("hits", self.hits))
+        self.misses = int(state.get("misses", self.misses))
+
+    @property
+    def state_size_mb(self) -> float:
+        return self.base_state_mb + self.used_mb
+
+    def describe(self) -> Dict[str, object]:
+        description = super().describe()
+        description.update(
+            {
+                "objects": self.object_count,
+                "used_mb": self.used_mb,
+                "hit_ratio": self.hit_ratio(),
+                "bytes_served_from_cache": self.bytes_served_from_cache,
+            }
+        )
+        return description

@@ -1,0 +1,23 @@
+"""Telemetry: counters, gauges, time series, periodic collection and export.
+
+The demo's UI continuously shows "real-time statistics (network traffic, CPU
+load, memory usage)" for every station and NF.  This package is the plumbing
+behind that: Agents sample their runtime/switch/NF statistics into
+:class:`~repro.telemetry.metrics.MetricsRegistry` objects, heartbeats carry
+snapshots to the Manager, and :mod:`repro.telemetry.export` renders the
+aggregated view the UI (and the benchmarks) consume.
+"""
+
+from repro.telemetry.metrics import Counter, Gauge, TimeSeries, MetricsRegistry
+from repro.telemetry.collector import ResourceCollector
+from repro.telemetry.export import snapshot_to_json, render_table
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "TimeSeries",
+    "MetricsRegistry",
+    "ResourceCollector",
+    "snapshot_to_json",
+    "render_table",
+]

@@ -1,0 +1,85 @@
+"""Periodic resource collection.
+
+A :class:`ResourceCollector` samples a set of *sources* (callables returning
+``{metric_name: value}``) on a fixed interval and appends every value to a
+time series in a shared registry.  Agents use one collector per station to
+build the CPU / memory / traffic history the Manager's monitoring view and
+the UI charts are drawn from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.netem.simulator import PeriodicTask, Simulator
+from repro.telemetry.metrics import MetricsRegistry
+
+MetricSource = Callable[[], Dict[str, float]]
+
+
+class ResourceCollector:
+    """Samples registered sources into a :class:`MetricsRegistry`."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        registry: Optional[MetricsRegistry] = None,
+        interval_s: float = 1.0,
+        name: str = "collector",
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.simulator = simulator
+        self.registry = registry or MetricsRegistry(name=name)
+        self.interval_s = interval_s
+        self.name = name
+        self._sources: Dict[str, MetricSource] = {}
+        self._task: Optional[PeriodicTask] = None
+        self.samples_taken = 0
+
+    # -------------------------------------------------------------- sources
+
+    def add_source(self, prefix: str, source: MetricSource) -> None:
+        """Register a source; its metrics are stored as ``<prefix>.<metric>``."""
+        self._sources[prefix] = source
+
+    def remove_source(self, prefix: str) -> None:
+        self._sources.pop(prefix, None)
+
+    def sources(self) -> List[str]:
+        return sorted(self._sources)
+
+    # -------------------------------------------------------------- control
+
+    def start(self) -> "ResourceCollector":
+        if self._task is None:
+            self._task = self.simulator.every(self.interval_s, self.sample_once, initial_delay=self.interval_s)
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    # ------------------------------------------------------------- sampling
+
+    def sample_once(self) -> Dict[str, float]:
+        """Collect one sample from every source (also called by the periodic task)."""
+        now = self.simulator.now
+        collected: Dict[str, float] = {}
+        for prefix, source in self._sources.items():
+            try:
+                values = source()
+            except Exception:  # noqa: BLE001 - a broken source must not kill the collector
+                self.registry.counter(f"{prefix}.collection_errors").increment()
+                continue
+            for metric_name, value in values.items():
+                qualified = f"{prefix}.{metric_name}"
+                self.registry.series(qualified).record(now, float(value))
+                collected[qualified] = float(value)
+        self.samples_taken += 1
+        return collected
+
+    def latest(self) -> Dict[str, float]:
+        """Most recent value of every collected series."""
+        return self.registry.snapshot()

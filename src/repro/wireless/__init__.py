@@ -1,0 +1,40 @@
+"""Wireless access and client mobility substrate.
+
+The paper's demo roams smartphones between Wi-Fi cells hosted on home
+routers.  This package provides the emulated equivalent:
+
+* :mod:`repro.wireless.radio` -- log-distance path-loss signal model,
+* :mod:`repro.wireless.cell` -- access points (cells) attached to edge
+  stations,
+* :mod:`repro.wireless.client` -- mobile clients (smartphones) with
+  positions, an associated cell and traffic endpoints,
+* :mod:`repro.wireless.mobility` -- mobility models (static, linear, random
+  waypoint, trace-driven, back-and-forth commuter),
+* :mod:`repro.wireless.handover` -- RSSI-driven association and handover,
+  which is what triggers GNF's NF roaming.
+"""
+
+from repro.wireless.radio import RadioEnvironment
+from repro.wireless.cell import Cell
+from repro.wireless.client import MobileClient
+from repro.wireless.mobility import (
+    StaticMobility,
+    LinearMobility,
+    RandomWaypointMobility,
+    TraceMobility,
+    CommuterMobility,
+)
+from repro.wireless.handover import HandoverManager, HandoverEvent
+
+__all__ = [
+    "RadioEnvironment",
+    "Cell",
+    "MobileClient",
+    "StaticMobility",
+    "LinearMobility",
+    "RandomWaypointMobility",
+    "TraceMobility",
+    "CommuterMobility",
+    "HandoverManager",
+    "HandoverEvent",
+]

@@ -1,0 +1,196 @@
+"""RSSI-driven association and handover.
+
+The :class:`HandoverManager` plays the role of the Wi-Fi roaming logic on the
+demo smartphones: it periodically scans every client's signal towards every
+cell and re-associates the client when a sufficiently better cell appears.
+Handover events are the trigger GNF reacts to -- the roaming coordinator in
+:mod:`repro.core.roaming` subscribes to them and migrates the client's NFs to
+the new station.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.netem.simulator import PeriodicTask, Simulator
+from repro.netem.topology import EdgeTopology
+from repro.wireless.cell import Cell
+from repro.wireless.client import MobileClient
+from repro.wireless.radio import RadioEnvironment
+
+
+@dataclass
+class HandoverEvent:
+    """A completed (or in-progress) handover of one client."""
+
+    time: float
+    client_name: str
+    client_ip: str
+    old_cell: Optional[str]
+    new_cell: str
+    old_station: Optional[str]
+    new_station: str
+    completed_at: Optional[float] = None
+
+    @property
+    def interruption_s(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.time
+
+
+HandoverListener = Callable[[HandoverEvent], None]
+
+
+class HandoverManager:
+    """Associates clients with cells and performs RSSI-based handovers."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        topology: EdgeTopology,
+        radio_environment: Optional[RadioEnvironment] = None,
+        scan_interval_s: float = 0.5,
+        hysteresis_db: float = 4.0,
+        sensitivity_dbm: float = -85.0,
+        handover_delay_s: float = 0.05,
+    ) -> None:
+        self.simulator = simulator
+        self.topology = topology
+        self.radio_environment = radio_environment or RadioEnvironment()
+        self.scan_interval_s = scan_interval_s
+        self.hysteresis_db = hysteresis_db
+        self.sensitivity_dbm = sensitivity_dbm
+        self.handover_delay_s = handover_delay_s
+        self.cells: Dict[str, Cell] = {}
+        self.clients: Dict[str, MobileClient] = {}
+        self.events: List[HandoverEvent] = []
+        self._started_listeners: List[HandoverListener] = []
+        self._completed_listeners: List[HandoverListener] = []
+        self._scan_task: Optional[PeriodicTask] = None
+        self._in_progress: Dict[str, HandoverEvent] = {}
+
+    # ---------------------------------------------------------- membership
+
+    def add_cell(self, cell: Cell) -> None:
+        self.cells[cell.name] = cell
+
+    def add_client(self, client: MobileClient) -> None:
+        self.clients[client.name] = client
+
+    def on_handover_started(self, listener: HandoverListener) -> None:
+        self._started_listeners.append(listener)
+
+    def on_handover_completed(self, listener: HandoverListener) -> None:
+        self._completed_listeners.append(listener)
+
+    # -------------------------------------------------------------- control
+
+    def start(self) -> "HandoverManager":
+        """Associate every client with its best cell and begin periodic scans."""
+        for client in self.clients.values():
+            if not client.is_connected:
+                self._initial_associate(client)
+        if self._scan_task is None:
+            self._scan_task = self.simulator.every(self.scan_interval_s, self.scan)
+        return self
+
+    def stop(self) -> None:
+        if self._scan_task is not None:
+            self._scan_task.stop()
+            self._scan_task = None
+
+    # ---------------------------------------------------------------- scans
+
+    def best_cell_for(self, client: MobileClient) -> Optional[Cell]:
+        """The cell with the strongest signal at the client's position, if audible."""
+        best: Optional[Cell] = None
+        best_rssi = self.sensitivity_dbm
+        for cell in self.cells.values():
+            rssi = cell.rssi_to(client.position)
+            if rssi >= best_rssi and (best is None or rssi > best_rssi):
+                best = cell
+                best_rssi = rssi
+        return best
+
+    def scan(self) -> None:
+        """One scan round over every client (called periodically)."""
+        for client in self.clients.values():
+            if client.name in self._in_progress:
+                continue
+            best = self.best_cell_for(client)
+            if best is None:
+                continue
+            current = client.associated_cell
+            if current is None:
+                self._initial_associate(client, best)
+                continue
+            if best.name == current.name:
+                continue
+            current_rssi = current.rssi_to(client.position)
+            best_rssi = best.rssi_to(client.position)
+            if best_rssi >= current_rssi + self.hysteresis_db or current_rssi < self.sensitivity_dbm:
+                self._start_handover(client, current, best)
+
+    # ------------------------------------------------------------ internals
+
+    def _initial_associate(self, client: MobileClient, cell: Optional[Cell] = None) -> None:
+        target = cell or self.best_cell_for(client)
+        if target is None:
+            return
+        target.associate(client, self.topology.addresses.allocate_mac)
+        station = self.topology.station(target.station_name)
+        station.register_client(client.ip, target.name)
+        self.topology.register_client(client.ip, client.mac, target.station_name)
+        client.gateway_mac = self.topology.gateway_mac_for[target.station_name]
+
+    def _start_handover(self, client: MobileClient, old_cell: Cell, new_cell: Cell) -> None:
+        event = HandoverEvent(
+            time=self.simulator.now,
+            client_name=client.name,
+            client_ip=client.ip,
+            old_cell=old_cell.name,
+            new_cell=new_cell.name,
+            old_station=old_cell.station_name,
+            new_station=new_cell.station_name,
+        )
+        self._in_progress[client.name] = event
+        self.events.append(event)
+        for listener in self._started_listeners:
+            listener(event)
+        # Break-before-make: detach now, attach after the handover delay.
+        old_station = self.topology.station(old_cell.station_name)
+        old_station.unregister_client(client.ip)
+        old_cell.disassociate(client)
+        self.simulator.schedule(self.handover_delay_s, self._complete_handover, client, new_cell, event)
+
+    def _complete_handover(self, client: MobileClient, new_cell: Cell, event: HandoverEvent) -> None:
+        new_cell.associate(client, self.topology.addresses.allocate_mac)
+        new_station = self.topology.station(new_cell.station_name)
+        new_station.register_client(client.ip, new_cell.name)
+        self.topology.register_client(client.ip, client.mac, new_cell.station_name)
+        client.gateway_mac = self.topology.gateway_mac_for[new_cell.station_name]
+        event.completed_at = self.simulator.now
+        self._in_progress.pop(client.name, None)
+        for listener in self._completed_listeners:
+            listener(event)
+
+    # --------------------------------------------------------------- stats
+
+    def handover_count(self, client_name: Optional[str] = None) -> int:
+        """Number of handovers observed (optionally for one client)."""
+        if client_name is None:
+            return len(self.events)
+        return sum(1 for event in self.events if event.client_name == client_name)
+
+    def summary(self) -> Dict[str, float]:
+        completed = [event for event in self.events if event.completed_at is not None]
+        interruptions = [event.interruption_s for event in completed if event.interruption_s is not None]
+        return {
+            "clients": float(len(self.clients)),
+            "cells": float(len(self.cells)),
+            "handovers": float(len(self.events)),
+            "handovers_completed": float(len(completed)),
+            "mean_interruption_s": (sum(interruptions) / len(interruptions)) if interruptions else 0.0,
+        }

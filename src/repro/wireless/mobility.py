@@ -1,0 +1,222 @@
+"""Client mobility models.
+
+Mobility is the input that drives GNF's headline feature (NF roaming), so
+several models are provided:
+
+* :class:`StaticMobility` -- the client never moves (control case).
+* :class:`LinearMobility` -- constant-velocity motion (the demo's "walk from
+  one network to the other").
+* :class:`RandomWaypointMobility` -- the classic random waypoint model.
+* :class:`TraceMobility` -- replay of explicit ``(time, x, y)`` waypoints.
+* :class:`CommuterMobility` -- back-and-forth motion between two anchor
+  points with dwell times, approximating a user commuting between home and
+  office cells; useful for long sweeps of repeated handovers.
+
+All models update ``client.position`` on a fixed tick and can be stopped.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netem.simulator import PeriodicTask, Simulator
+from repro.wireless.client import MobileClient
+
+Position = Tuple[float, float]
+
+
+class MobilityModel:
+    """Base class: subclasses implement :meth:`_advance`."""
+
+    def __init__(self, simulator: Simulator, client: MobileClient, tick_s: float = 0.1) -> None:
+        if tick_s <= 0:
+            raise ValueError(f"tick_s must be positive, got {tick_s}")
+        self.simulator = simulator
+        self.client = client
+        self.tick_s = tick_s
+        self._task: Optional[PeriodicTask] = None
+        self.distance_travelled_m = 0.0
+
+    def start(self) -> "MobilityModel":
+        if self._task is None:
+            self._task = self.simulator.every(self.tick_s, self._tick, initial_delay=self.tick_s)
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _tick(self) -> None:
+        old = self.client.position
+        new = self._advance(old, self.tick_s)
+        self.client.position = new
+        self.distance_travelled_m += math.hypot(new[0] - old[0], new[1] - old[1])
+
+    def _advance(self, position: Position, dt: float) -> Position:
+        raise NotImplementedError
+
+
+class StaticMobility(MobilityModel):
+    """The client stays where it is."""
+
+    def _advance(self, position: Position, dt: float) -> Position:
+        return position
+
+
+class LinearMobility(MobilityModel):
+    """Constant-velocity motion, optionally stopping at a destination."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        client: MobileClient,
+        velocity_mps: Tuple[float, float],
+        destination: Optional[Position] = None,
+        tick_s: float = 0.1,
+    ) -> None:
+        super().__init__(simulator, client, tick_s)
+        self.velocity_mps = velocity_mps
+        self.destination = destination
+        self.arrived = False
+
+    def _advance(self, position: Position, dt: float) -> Position:
+        if self.arrived:
+            return position
+        new = (position[0] + self.velocity_mps[0] * dt, position[1] + self.velocity_mps[1] * dt)
+        if self.destination is not None:
+            remaining = math.hypot(self.destination[0] - position[0], self.destination[1] - position[1])
+            step = math.hypot(self.velocity_mps[0] * dt, self.velocity_mps[1] * dt)
+            if step >= remaining:
+                self.arrived = True
+                return self.destination
+        return new
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Random waypoint inside a rectangular area with optional pause times."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        client: MobileClient,
+        area: Tuple[float, float, float, float] = (0.0, 0.0, 200.0, 200.0),
+        speed_mps: Tuple[float, float] = (0.5, 2.0),
+        pause_s: Tuple[float, float] = (0.0, 5.0),
+        seed: int = 3,
+        tick_s: float = 0.1,
+    ) -> None:
+        super().__init__(simulator, client, tick_s)
+        self.area = area
+        self.speed_range = speed_mps
+        self.pause_range = pause_s
+        self._rng = random.Random(seed)
+        self._target: Optional[Position] = None
+        self._speed = 0.0
+        self._pause_remaining = 0.0
+        self.waypoints_visited = 0
+
+    def _pick_target(self) -> None:
+        x_min, y_min, x_max, y_max = self.area
+        self._target = (self._rng.uniform(x_min, x_max), self._rng.uniform(y_min, y_max))
+        self._speed = self._rng.uniform(*self.speed_range)
+
+    def _advance(self, position: Position, dt: float) -> Position:
+        if self._pause_remaining > 0:
+            self._pause_remaining -= dt
+            return position
+        if self._target is None:
+            self._pick_target()
+        assert self._target is not None
+        dx = self._target[0] - position[0]
+        dy = self._target[1] - position[1]
+        remaining = math.hypot(dx, dy)
+        step = self._speed * dt
+        if step >= remaining:
+            self.waypoints_visited += 1
+            self._pause_remaining = self._rng.uniform(*self.pause_range)
+            reached = self._target
+            self._target = None
+            return reached
+        scale = step / remaining
+        return (position[0] + dx * scale, position[1] + dy * scale)
+
+
+class TraceMobility(MobilityModel):
+    """Replay explicit waypoints given as ``(time_s, x, y)`` tuples."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        client: MobileClient,
+        trace: Sequence[Tuple[float, float, float]],
+        tick_s: float = 0.1,
+    ) -> None:
+        super().__init__(simulator, client, tick_s)
+        if not trace:
+            raise ValueError("trace must contain at least one waypoint")
+        self.trace: List[Tuple[float, float, float]] = sorted(trace, key=lambda item: item[0])
+
+    def _advance(self, position: Position, dt: float) -> Position:
+        now = self.simulator.now
+        previous = self.trace[0]
+        following: Optional[Tuple[float, float, float]] = None
+        for waypoint in self.trace:
+            if waypoint[0] <= now:
+                previous = waypoint
+            else:
+                following = waypoint
+                break
+        if following is None:
+            return (previous[1], previous[2])
+        span = following[0] - previous[0]
+        if span <= 0:
+            return (following[1], following[2])
+        fraction = (now - previous[0]) / span
+        x = previous[1] + (following[1] - previous[1]) * fraction
+        y = previous[2] + (following[2] - previous[2]) * fraction
+        return (x, y)
+
+
+class CommuterMobility(MobilityModel):
+    """Back-and-forth motion between two anchors with dwell times at each end."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        client: MobileClient,
+        anchor_a: Position,
+        anchor_b: Position,
+        speed_mps: float = 1.5,
+        dwell_s: float = 20.0,
+        tick_s: float = 0.1,
+    ) -> None:
+        super().__init__(simulator, client, tick_s)
+        if speed_mps <= 0:
+            raise ValueError(f"speed_mps must be positive, got {speed_mps}")
+        self.anchor_a = anchor_a
+        self.anchor_b = anchor_b
+        self.speed_mps = speed_mps
+        self.dwell_s = dwell_s
+        self._heading_to_b = True
+        self._dwell_remaining = 0.0
+        self.trips_completed = 0
+
+    def _advance(self, position: Position, dt: float) -> Position:
+        if self._dwell_remaining > 0:
+            self._dwell_remaining -= dt
+            return position
+        target = self.anchor_b if self._heading_to_b else self.anchor_a
+        dx = target[0] - position[0]
+        dy = target[1] - position[1]
+        remaining = math.hypot(dx, dy)
+        step = self.speed_mps * dt
+        if step >= remaining:
+            self._heading_to_b = not self._heading_to_b
+            self._dwell_remaining = self.dwell_s
+            self.trips_completed += 1
+            return target
+        scale = step / remaining
+        return (position[0] + dx * scale, position[1] + dy * scale)

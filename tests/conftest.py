@@ -1,0 +1,37 @@
+"""Shared fixtures for the GNF reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.testbed import GNFTestbed, TestbedConfig
+from repro.netem.simulator import Simulator
+from repro.netem.topology import EdgeTopology, TopologyConfig
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    """A fresh simulation kernel."""
+    return Simulator()
+
+
+@pytest.fixture
+def topology(simulator: Simulator) -> EdgeTopology:
+    """A two-station topology with one core server."""
+    return EdgeTopology(simulator, TopologyConfig(station_count=2, server_count=1))
+
+
+@pytest.fixture
+def testbed() -> GNFTestbed:
+    """A ready-to-run two-station GNF deployment (no clients yet)."""
+    return GNFTestbed(TestbedConfig(station_count=2))
+
+
+@pytest.fixture
+def connected_testbed() -> tuple:
+    """A testbed with one static client already associated at station-1."""
+    bed = GNFTestbed(TestbedConfig(station_count=2))
+    client = bed.add_client("phone", position=(0.0, 0.0))
+    bed.start()
+    bed.run(1.0)
+    return bed, client

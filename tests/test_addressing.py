@@ -1,0 +1,92 @@
+"""Unit tests for MAC/IPv4 address allocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netem.addressing import (
+    AddressExhaustedError,
+    AddressPlan,
+    IPv4Allocator,
+    MACAllocator,
+    Subnet,
+)
+
+
+def test_mac_allocator_unique_and_locally_administered():
+    allocator = MACAllocator()
+    macs = {allocator.allocate() for _ in range(100)}
+    assert len(macs) == 100
+    assert all(mac.startswith("02:") for mac in macs)
+
+
+def test_mac_allocator_custom_prefix():
+    allocator = MACAllocator(prefix=0x06)
+    assert allocator.allocate().startswith("06:")
+
+
+def test_mac_allocator_invalid_prefix():
+    with pytest.raises(ValueError):
+        MACAllocator(prefix=0x1FF)
+
+
+def test_mac_allocator_counts():
+    allocator = MACAllocator()
+    allocator.allocate()
+    allocator.allocate()
+    assert allocator.allocated_count == 2
+
+
+def test_subnet_contains():
+    subnet = Subnet("10.10.0.0/16", role="clients")
+    assert subnet.contains("10.10.3.4")
+    assert not subnet.contains("10.20.0.1")
+
+
+def test_ipv4_allocator_skips_network_address():
+    allocator = IPv4Allocator(Subnet("192.168.1.0/30"))
+    first = allocator.allocate("host-a")
+    assert first == "192.168.1.1"
+
+
+def test_ipv4_allocator_records_owner():
+    allocator = IPv4Allocator(Subnet("10.0.0.0/24"))
+    address = allocator.allocate("phone")
+    assert allocator.owner_of(address) == "phone"
+    assert allocator.owner_of("10.0.0.250") is None
+    assert len(allocator) == 1
+
+
+def test_ipv4_allocator_exhaustion():
+    allocator = IPv4Allocator(Subnet("10.0.0.0/30"))
+    allocator.allocate()
+    allocator.allocate()
+    with pytest.raises(AddressExhaustedError):
+        allocator.allocate()
+
+
+def test_address_plan_roles():
+    plan = AddressPlan()
+    client_ip = plan.allocate_ip("clients", owner="phone")
+    server_ip = plan.allocate_ip("servers", owner="web")
+    assert plan.role_of(client_ip) == "clients"
+    assert plan.role_of(server_ip) == "servers"
+    assert plan.role_of("8.8.8.8") is None
+
+
+def test_address_plan_unknown_role():
+    plan = AddressPlan()
+    with pytest.raises(KeyError):
+        plan.allocate_ip("does-not-exist")
+
+
+def test_address_plan_custom_subnet_overrides_default():
+    plan = AddressPlan(subnets={"clients": "172.16.0.0/24"})
+    address = plan.allocate_ip("clients")
+    assert address.startswith("172.16.0.")
+
+
+def test_address_plan_allocates_unique_ips_across_calls():
+    plan = AddressPlan()
+    addresses = {plan.allocate_ip("clients") for _ in range(50)}
+    assert len(addresses) == 50

@@ -1,0 +1,137 @@
+"""Unit tests for the packet model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netem import packet as pkt
+
+
+def test_tcp_packet_has_sane_size():
+    packet = pkt.make_tcp_packet("10.0.0.1", "10.0.0.2", 1234, 80, payload_bytes=100)
+    assert packet.size_bytes == 14 + 20 + 20 + 100
+
+
+def test_minimum_frame_size_is_64_bytes():
+    packet = pkt.Packet(eth=pkt.EthernetHeader("a", "b"))
+    assert packet.size_bytes == 64
+
+
+def test_udp_packet_protocol_number():
+    packet = pkt.make_udp_packet("10.0.0.1", "10.0.0.2", 5000, 53)
+    assert packet.ip.protocol == pkt.PROTO_UDP
+    assert packet.is_udp and not packet.is_tcp
+
+
+def test_icmp_echo_and_reply():
+    echo = pkt.make_icmp_echo("10.0.0.1", "10.0.0.2", identifier=7, sequence=3)
+    assert echo.is_icmp
+    reply = echo.l4.reply()
+    assert reply.icmp_type == 0
+    assert reply.identifier == 7
+    assert reply.sequence == 3
+
+
+def test_flow_key_extraction():
+    packet = pkt.make_tcp_packet("10.0.0.1", "10.0.0.2", 1111, 80)
+    key = packet.flow_key
+    assert key == pkt.FlowKey("10.0.0.1", "10.0.0.2", pkt.PROTO_TCP, 1111, 80)
+
+
+def test_flow_key_reversed_and_canonical():
+    key = pkt.FlowKey("10.0.0.2", "10.0.0.1", pkt.PROTO_TCP, 80, 1111)
+    reverse = key.reversed()
+    assert reverse.src_ip == "10.0.0.1"
+    assert reverse.dst_port == 80
+    assert key.canonical() == reverse.canonical()
+
+
+def test_non_ip_packet_has_no_flow_key():
+    packet = pkt.Packet(eth=pkt.EthernetHeader("a", "b"))
+    assert packet.flow_key is None
+
+
+def test_packet_copy_is_independent():
+    packet = pkt.make_tcp_packet("10.0.0.1", "10.0.0.2", 1, 2)
+    packet.metadata["tag"] = "original"
+    clone = packet.copy()
+    clone.ip.src = "10.9.9.9"
+    clone.metadata["tag"] = "copy"
+    assert packet.ip.src == "10.0.0.1"
+    assert packet.metadata["tag"] == "original"
+    assert clone.packet_id != packet.packet_id
+
+
+def test_ttl_decrement_drops_at_zero():
+    packet = pkt.make_tcp_packet("10.0.0.1", "10.0.0.2", 1, 2)
+    packet.ip.ttl = 1
+    assert not packet.decrement_ttl()
+
+
+def test_ethernet_swapped():
+    header = pkt.EthernetHeader(src="aa", dst="bb")
+    swapped = header.swapped()
+    assert (swapped.src, swapped.dst) == ("bb", "aa")
+
+
+def test_ip_swapped_resets_ttl():
+    header = pkt.IPv4Header(src="1.1.1.1", dst="2.2.2.2", ttl=3)
+    swapped = header.swapped()
+    assert swapped.src == "2.2.2.2"
+    assert swapped.ttl == 64
+
+
+def test_http_request_url():
+    request = pkt.HTTPRequest(method="GET", host="example.com", path="/index.html")
+    assert request.url == "http://example.com/index.html"
+
+
+def test_http_response_builder_swaps_endpoints():
+    request = pkt.make_http_request("10.0.0.1", "10.0.0.9", host="example.com", path="/a")
+    response = pkt.make_http_response(request, status=200, body_bytes=5000)
+    assert response.ip.src == "10.0.0.9"
+    assert response.ip.dst == "10.0.0.1"
+    assert response.app.status == 200
+    assert response.app.request_url == "http://example.com/a"
+    assert response.size_bytes > 5000
+
+
+def test_http_response_requires_request_payload():
+    packet = pkt.make_tcp_packet("10.0.0.1", "10.0.0.2", 1, 2)
+    with pytest.raises(ValueError):
+        pkt.make_http_response(packet)
+
+
+def test_dns_query_and_response_builders():
+    query = pkt.make_dns_query("10.0.0.1", "10.0.0.8", name="cdn.example.com", query_id=11)
+    assert query.l4.dst_port == 53
+    response = pkt.make_dns_response(query, addresses=("1.2.3.4", "5.6.7.8"))
+    assert response.app.addresses == ("1.2.3.4", "5.6.7.8")
+    assert response.app.query_id == 11
+    assert response.ip.dst == "10.0.0.1"
+
+
+def test_dns_response_requires_query_payload():
+    packet = pkt.make_udp_packet("10.0.0.1", "10.0.0.2", 1, 2)
+    with pytest.raises(ValueError):
+        pkt.make_dns_response(packet, addresses=("1.1.1.1",))
+
+
+def test_tcp_header_swapped_sets_ack_flag():
+    header = pkt.TCPHeader(src_port=1000, dst_port=80, seq=5, ack=9)
+    swapped = header.swapped()
+    assert swapped.src_port == 80
+    assert swapped.dst_port == 1000
+    assert swapped.ack_flag
+
+
+def test_packet_ids_are_unique_and_increasing():
+    first = pkt.make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+    second = pkt.make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+    assert second.packet_id > first.packet_id
+
+
+def test_app_payload_contributes_to_size():
+    bare = pkt.make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+    with_http = pkt.make_http_request("1.1.1.1", "2.2.2.2", host="x.com")
+    assert with_http.size_bytes > bare.size_bytes

@@ -1,0 +1,228 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netem.simulator import Event, Process, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_starts_at_custom_time():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, seen.append, "late")
+    sim.schedule(1.0, seen.append, "early")
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_equal_time_events_fire_in_insertion_order():
+    sim = Simulator()
+    seen = []
+    for label in ("a", "b", "c"):
+        sim.schedule(1.0, seen.append, label)
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    sim.schedule(3.5, lambda: None)
+    sim.run()
+    assert sim.now == pytest.approx(3.5)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    event = sim.schedule(1.0, seen.append, "x")
+    event.cancel()
+    sim.run()
+    assert seen == []
+    assert not event.pending
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(10.0, seen.append, "b")
+    sim.run(until=5.0)
+    assert seen == ["a"]
+    assert sim.now == pytest.approx(5.0)
+    sim.run()
+    assert seen == ["a", "b"]
+
+
+def test_run_for_advances_relative_time():
+    sim = Simulator()
+    sim.run_for(2.0)
+    assert sim.now == pytest.approx(2.0)
+    sim.run_for(3.0)
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    seen = []
+    for index in range(10):
+        sim.schedule(float(index), seen.append, index)
+    sim.run(max_events=3)
+    assert len(seen) == 3
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for index in range(5):
+        sim.schedule(float(index), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_callback_arguments_forwarded():
+    sim = Simulator()
+    captured = {}
+    sim.schedule(1.0, lambda a, b=None: captured.update({"a": a, "b": b}), 1, b=2)
+    sim.run()
+    assert captured == {"a": 1, "b": 2}
+
+
+def test_events_scheduled_during_run_are_executed():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.schedule(1.0, seen.append, "second")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == ["first", "second"]
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_periodic_task_fires_repeatedly_and_stops():
+    sim = Simulator()
+    ticks = []
+    task = sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.run(until=5.5)
+    assert len(ticks) == 5
+    task.stop()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert len(ticks) == 5
+
+
+def test_periodic_task_initial_delay():
+    sim = Simulator()
+    ticks = []
+    sim.every(1.0, lambda: ticks.append(sim.now), initial_delay=0.5)
+    sim.run(until=2.6)
+    assert ticks == pytest.approx([0.5, 1.5, 2.5])
+
+
+def test_periodic_interval_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.every(0.0, lambda: None)
+
+
+def test_process_sleeps_between_yields():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        trace.append(("start", sim.now))
+        yield 1.5
+        trace.append(("mid", sim.now))
+        yield 2.5
+        trace.append(("end", sim.now))
+
+    sim.process(worker())
+    sim.run()
+    assert trace == [("start", 0.0), ("mid", 1.5), ("end", 4.0)]
+
+
+def test_process_returns_value_and_finishes():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+        return 42
+
+    proc = sim.process(worker())
+    sim.run()
+    assert proc.finished
+    assert proc.result == 42
+
+
+def test_process_can_wait_on_another_process():
+    sim = Simulator()
+    order = []
+
+    def inner():
+        yield 2.0
+        order.append("inner-done")
+        return "payload"
+
+    def outer():
+        result = yield sim.process(inner())
+        order.append(("outer-resumed", result, sim.now))
+
+    sim.process(outer())
+    sim.run()
+    assert order[0] == "inner-done"
+    assert order[1] == ("outer-resumed", "payload", 2.0)
+
+
+def test_process_invalid_yield_raises():
+    sim = Simulator()
+
+    def worker():
+        yield "not a delay"
+
+    sim.process(worker())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, nested)
+    sim.run()
+
+
+def test_drain_cancels_events():
+    sim = Simulator()
+    seen = []
+    events = [sim.schedule(1.0, seen.append, index) for index in range(3)]
+    sim.drain(events)
+    sim.run()
+    assert seen == []

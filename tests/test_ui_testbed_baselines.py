@@ -1,0 +1,184 @@
+"""Tests for the UI dashboard, the testbed builder and the baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.core_nfv import CoreNFVScenario
+from repro.baselines.vm_nfv import VMNFVBaseline, vm_image_for
+from repro.containers.runtime import RuntimeTimings
+from repro.core.chain import ServiceChain
+from repro.core.testbed import GNFTestbed, TestbedConfig
+from repro.netem.simulator import Simulator
+from repro.netem.topology import StationProfile
+
+
+# --------------------------------------------------------------------------
+# GNFTestbed builder
+# --------------------------------------------------------------------------
+
+
+def test_testbed_builds_requested_shape():
+    testbed = GNFTestbed(TestbedConfig(station_count=3, cells_per_station=2, server_count=2))
+    assert len(testbed.agents) == 3
+    assert len(testbed.cells) == 6
+    assert len(testbed.topology.servers) == 2
+    assert testbed.station_names() == ["station-1", "station-2", "station-3"]
+    assert testbed.manager.roaming is testbed.roaming
+
+
+def test_testbed_add_client_and_lookup():
+    testbed = GNFTestbed(TestbedConfig(station_count=1))
+    client = testbed.add_client(position=(1.0, 2.0))
+    assert testbed.client(client.name) is client
+    assert client.ip.startswith("10.10.")
+
+
+def test_testbed_add_server():
+    testbed = GNFTestbed(TestbedConfig(station_count=1))
+    server = testbed.add_server("extra-server")
+    assert server.ip is not None
+    assert "extra-server" in testbed.topology.servers
+
+
+def test_testbed_run_until():
+    testbed = GNFTestbed(TestbedConfig(station_count=1))
+    testbed.run_until(2.0)
+    assert testbed.simulator.now == pytest.approx(2.0)
+
+
+# --------------------------------------------------------------------------
+# Dashboard / UI
+# --------------------------------------------------------------------------
+
+
+def test_dashboard_overview_and_catalog(connected_testbed):
+    testbed, client = connected_testbed
+    ui = testbed.ui
+    overview = ui.overview()
+    assert len(overview["online_stations"]) == 2
+    catalog = ui.nf_catalog()
+    assert any(entry["nf_type"] == "firewall" for entry in catalog)
+
+
+def test_dashboard_attach_and_views(connected_testbed):
+    testbed, client = connected_testbed
+    ui = testbed.ui
+    assignment = ui.attach_nf(client.ip, "firewall")
+    testbed.run(6.0)
+    stations = ui.stations()
+    row = next(r for r in stations if r["station"] == "station-1")
+    assert row["containers_running"] == 1
+    assert row["connected_clients"] == 1
+    client_rows = ui.clients()
+    assert client_rows[0]["nfs"] == ["firewall"]
+    view = ui.client_view(client.ip)
+    assert view["assignments"][0]["state"] == "active"
+    station_view = ui.station_view("station-1")
+    assert station_view["deployments"]
+    ui.remove_assignment(assignment.assignment_id)
+    testbed.run(2.0)
+    assert ui.client_view(client.ip)["assignments"][0]["state"] == "removed"
+
+
+def test_dashboard_attach_chain_and_schedule(connected_testbed):
+    testbed, client = connected_testbed
+    ui = testbed.ui
+    chain_assignment = ui.attach_chain(client.ip, ServiceChain.of("firewall", "flow-monitor"))
+    scheduled = ui.schedule_nf(client.ip, "rate-limiter", start_s=100.0, end_s=200.0)
+    testbed.run(6.0)
+    assert chain_assignment.state.value == "active"
+    assert scheduled.schedule.is_active(150.0)
+    assert not scheduled.schedule.is_active(50.0)
+
+
+def test_dashboard_notifications_view(connected_testbed):
+    testbed, client = connected_testbed
+    from repro.core.notifications import ProviderNotification
+
+    testbed.manager.notifications.publish(
+        ProviderNotification(
+            received_at=1.0, raised_at=0.9, station_name="station-1",
+            nf_name="ids-1", severity="critical", message="intrusion attempt",
+        )
+    )
+    rows = testbed.ui.notifications(minimum_severity="warning")
+    assert rows[0]["message"] == "intrusion attempt"
+
+
+def test_dashboard_text_renderers(connected_testbed):
+    testbed, client = connected_testbed
+    testbed.ui.attach_nf(client.ip, "firewall")
+    testbed.run(6.0)
+    overview_text = testbed.ui.render_overview()
+    stations_text = testbed.ui.render_stations()
+    clients_text = testbed.ui.render_clients()
+    assert "GNF network overview" in overview_text
+    assert "station-1" in stations_text
+    assert client.ip in clients_text
+
+
+# --------------------------------------------------------------------------
+# VM-based NFV baseline
+# --------------------------------------------------------------------------
+
+
+def test_vm_images_are_heavyweight():
+    vm = vm_image_for("firewall")
+    assert vm.size_mb > 100
+    assert vm.default_memory_mb >= 256
+
+
+def test_vm_instantiation_much_slower_than_container():
+    simulator = Simulator()
+    vm_platform = VMNFVBaseline(simulator, profile=StationProfile.server_class())
+    _, vm_latency = vm_platform.instantiate("firewall")
+    container_timings = RuntimeTimings.for_containers()
+    from repro.containers.image import ContainerImage
+
+    container_image = ContainerImage.build("gnf/firewall", size_mb=4.0, nf_class="x")
+    container_latency = container_timings.create_duration_s() + container_timings.start_duration_s(container_image)
+    assert vm_latency > 20 * container_latency
+
+
+def test_vm_density_far_below_container_density():
+    simulator = Simulator()
+    # Server-class host: containers reach hundreds, VMs only a handful.
+    vm_platform = VMNFVBaseline(simulator, profile=StationProfile.server_class())
+    vm_density = vm_platform.max_density("firewall")
+    assert 0 < vm_density < 64
+
+
+def test_vm_does_not_fit_on_router_class_hardware():
+    simulator = Simulator()
+    vm_platform = VMNFVBaseline(simulator, profile=StationProfile.router_class())
+    assert vm_platform.max_density("firewall") == 0
+
+
+def test_vm_cold_instantiation_includes_image_pull():
+    simulator = Simulator()
+    platform = VMNFVBaseline(simulator, profile=StationProfile.server_class())
+    _, cold = platform.instantiate("cache", warm=False)
+    simulator = Simulator()
+    platform = VMNFVBaseline(simulator, profile=StationProfile.server_class())
+    _, warm = platform.instantiate("cache", warm=True)
+    assert cold > warm
+    assert platform.supports("firewall")
+    assert not platform.supports("quantum")
+
+
+# --------------------------------------------------------------------------
+# Core-NFV latency baseline
+# --------------------------------------------------------------------------
+
+
+def test_edge_cache_beats_core_deployment_on_latency():
+    edge = CoreNFVScenario(edge_nf=True, request_count_target=30, mean_think_time_s=0.2).run(duration_s=30.0)
+    core = CoreNFVScenario(edge_nf=False, request_count_target=30, mean_think_time_s=0.2).run(duration_s=30.0)
+    assert edge.requests > 10 and core.requests > 10
+    assert edge.served_locally > 0
+    assert core.served_locally == 0
+    # Cache hits served at the edge pull the mean latency well below the
+    # everything-from-the-core deployment.
+    assert edge.mean_latency_s < core.mean_latency_s
+    assert edge.deployment == "edge" and core.deployment == "core"
