@@ -5,9 +5,19 @@ utilization".  The first part is a true micro-benchmark (wall-clock packets
 per second through each NF's processing path); the second part measures, in
 simulated time, how end-to-end request latency grows with the length of the
 chain installed on a router-class station.
+
+The fast-path section measures the flow-cached, batch-aware pipeline: the
+same station datapath (switch + firewall + rate-limiter chain) is driven
+with the fast path off (per-packet slow path, one scheduled event per hop)
+and on (microflow cache hits + batched NF processing), reporting wall-clock
+packets/sec and simulator events per packet for both.
 """
 
 from __future__ import annotations
+
+import gc
+import os
+import time
 
 import pytest
 
@@ -15,9 +25,10 @@ from _bench_utils import record_result, run_once
 
 from repro.analysis.report import ExperimentResult
 from repro.analysis.stats import mean
-from repro.core.chain import ServiceChain
+from repro.core.chain import NFSpec, ServiceChain
 from repro.core.testbed import GNFTestbed, TestbedConfig
 from repro.netem import packet as pkt
+from repro.netem.fastpath import PacketBatch
 from repro.netem.trafficgen import CBRTrafficGenerator
 from repro.nfs import NF_CATALOG
 from repro.nfs.base import Direction, ProcessingContext
@@ -86,6 +97,142 @@ def _chain_latency(chain_length: int) -> float:
 
 def _run_chain_sweep():
     return [[length, _chain_latency(length)] for length in range(0, 5)]
+
+
+def _build_station_rig(fastpath_enabled: bool):
+    """A one-station testbed with a firewall + rate-limiter chain deployed.
+
+    The uplink interface is replaced by a sink so the measurement covers
+    exactly the refactored station datapath (switch traversals + NF chain),
+    not the gateway/core round trip.
+    """
+    testbed = GNFTestbed(TestbedConfig(station_count=1, fastpath_enabled=fastpath_enabled))
+    client = testbed.add_client("phone", position=(0.0, 0.0))
+    testbed.start()
+    testbed.run(1.0)
+    chain = ServiceChain(
+        [
+            NFSpec("firewall"),
+            # High limits so the limiter's datapath runs without policing the
+            # synthetic burst away.
+            NFSpec("rate-limiter", config={"rate_bps": 1e9, "burst_bytes": 1e9}),
+        ]
+    )
+    testbed.manager.attach_chain(client.ip, chain)
+    testbed.run(6.0)
+    station = testbed.topology.station("station-1")
+    switch = station.switch
+    uplink_iface = switch.ports[station.uplink_port].interface
+    sunk = []
+    def sink_one(packet):
+        sunk.append(packet)
+        return True
+
+    def sink_many(packets):
+        packets = list(packets)
+        sunk.extend(packets)
+        return len(packets)
+
+    uplink_iface.send = sink_one
+    uplink_iface.send_batch = sink_many
+    cell_port = next(iter(station.cell_ports.values()))
+    cell_iface = switch.ports[cell_port].interface
+    return testbed, client, switch, cell_iface, sunk
+
+
+def _drive_station_datapath(
+    fastpath_enabled: bool,
+    total_packets: int = 8192,
+    batch_size: int = 64,
+    flows: int = 64,
+):
+    """Push upstream client traffic through the station chain; measure wall clock."""
+    testbed, client, switch, cell_iface, sunk = _build_station_rig(fastpath_enabled)
+    # Start from a clean heap so earlier benchmarks' garbage does not skew
+    # either configuration's wall-clock measurement.
+    gc.collect()
+    waves = []
+    made = 0
+    while made < total_packets:
+        wave = [
+            pkt.make_udp_packet(
+                src_ip=client.ip,
+                dst_ip=testbed.server_ip,
+                src_port=40_000 + (made + index) % flows,
+                dst_port=9000,
+                payload_bytes=500,
+                src_mac=client.mac,
+            )
+            for index in range(batch_size)
+        ]
+        made += len(wave)
+        waves.append(wave)
+
+    events_before = testbed.simulator.events_processed
+    started = time.perf_counter()
+    for wave in waves:
+        if fastpath_enabled:
+            switch.receive_batch(PacketBatch(wave), cell_iface)
+        else:
+            for packet in wave:
+                switch.receive_packet(packet, cell_iface)
+        testbed.run(0.01)
+    wall_s = time.perf_counter() - started
+    events = testbed.simulator.events_processed - events_before
+    cache = switch.flow_cache
+    return {
+        "packets": made,
+        "pps": made / wall_s,
+        "events_per_packet": events / made,
+        "delivered": len(sunk),
+        "hit_rate": cache.hit_rate,
+    }
+
+
+def test_e6_fastpath_speedup(record_experiment):
+    """Flow cache + batching must deliver >= 3x datapath packets/sec.
+
+    ``E6_MIN_SPEEDUP`` relaxes the wall-clock floor on noisy shared runners
+    (CI sets 2.0); the deterministic events-per-packet assertion is the
+    mechanism proof and is never relaxed.
+    """
+    min_speedup = float(os.environ.get("E6_MIN_SPEEDUP", "3.0"))
+    # Interpreter warm-up pass for each configuration, then best-of-3
+    # measured runs per configuration (both treated identically) so a
+    # scheduler hiccup in any single run cannot flip the wall-clock verdict.
+    _drive_station_datapath(False, total_packets=2048)
+    _drive_station_datapath(True, total_packets=2048)
+    slow_path = max(
+        (_drive_station_datapath(False) for _ in range(3)), key=lambda run: run["pps"]
+    )
+    fast_path = max(
+        (_drive_station_datapath(True) for _ in range(3)), key=lambda run: run["pps"]
+    )
+    speedup = fast_path["pps"] / slow_path["pps"]
+
+    result = ExperimentResult(
+        experiment_id="E6-fastpath",
+        title="Dataplane fast path: flow-cached + batched vs per-packet slow path",
+        headers=["configuration", "packets/sec", "events/packet", "cache hit rate"],
+        paper_claim="GNF processes traffic at line rate on edge hardware",
+        notes=(
+            f"station switch + firewall/rate-limiter chain, {slow_path['packets']} packets, "
+            f"speedup {speedup:.2f}x"
+        ),
+    )
+    result.add_row("fastpath off", slow_path["pps"], slow_path["events_per_packet"], 0.0)
+    result.add_row("fastpath on", fast_path["pps"], fast_path["events_per_packet"], fast_path["hit_rate"])
+    record_experiment(result)
+
+    # Every injected packet made it through the chain in both configurations.
+    assert slow_path["delivered"] == slow_path["packets"]
+    assert fast_path["delivered"] == fast_path["packets"]
+    # Steady-state flows hit the cache and the heap churn collapses.
+    assert fast_path["hit_rate"] > 0.9
+    assert fast_path["events_per_packet"] < slow_path["events_per_packet"] / 5
+    assert speedup >= min_speedup, (
+        f"fast path speedup {speedup:.2f}x below the {min_speedup}x target"
+    )
 
 
 def test_e6_chain_length_latency_overhead(benchmark, record_experiment):

@@ -7,9 +7,18 @@ from typing import Dict, Sequence
 
 
 def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean; 0.0 for an empty sequence."""
+    """Arithmetic mean; 0.0 for an empty sequence.
+
+    ``math.fsum`` keeps the result within ``[min(values), max(values)]`` even
+    for pathological magnitudes where naive summation rounds the mean just
+    outside the sample range.
+    """
     values = list(values)
-    return sum(values) / len(values) if values else 0.0
+    if not values:
+        return 0.0
+    result = math.fsum(values) / len(values)
+    # Guard against the last rounding step still escaping the sample range.
+    return min(max(result, min(values)), max(values))
 
 
 def median(values: Sequence[float]) -> float:

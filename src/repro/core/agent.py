@@ -94,6 +94,7 @@ class DeployedNF:
         ingress_port = self.station.switch.add_port(ingress.end_a, no_flood=True)
         egress_port = self.station.switch.add_port(egress.end_a, no_flood=True)
         ingress.end_b.delivery_override = self._on_ingress
+        ingress.end_b.batch_delivery_override = self._on_ingress_batch
         self.ingress_port = ingress_port.number
         self.egress_port = egress_port.number
         self._egress_container_iface = egress.end_b
@@ -140,6 +141,49 @@ class DeployedNF:
             heading_down = output.ip is not None and output.ip.dst == self.client_ip
             output.metadata["gnf_dir"] = "down" if heading_down else "up"
             self._egress_container_iface.send(output)
+
+    def _on_ingress_batch(self, packets: List[Packet], _interface: Interface) -> None:
+        """A whole burst steered into the container under one simulator event.
+
+        The batch is charged the same aggregate CPU time as per-packet
+        processing would be, but the deadline is tracked with a single heap
+        entry and the NF sees the burst through ``process_batch``.
+        """
+        if not self.container.is_running:
+            self.packets_dropped_not_running += len(packets)
+            return
+        processing_delay = self.nf.per_packet_cpu_us * 1e-6 * self.cpu_scale * len(packets)
+        self.runtime.charge_cpu(self.container.name, processing_delay)
+        self.simulator.schedule(processing_delay, self._finish_processing_batch, packets)
+
+    def _finish_processing_batch(self, packets: List[Packet]) -> None:
+        if not self.container.is_running or self._egress_container_iface is None:
+            self.packets_dropped_not_running += len(packets)
+            return
+        upstream: List[Packet] = []
+        downstream: List[Packet] = []
+        for packet in packets:
+            if packet.metadata.get("gnf_dir") == "down":
+                downstream.append(packet)
+            else:
+                upstream.append(packet)
+        outputs: List[Packet] = []
+        for group, direction in ((upstream, Direction.UPSTREAM), (downstream, Direction.DOWNSTREAM)):
+            if not group:
+                continue
+            context = ProcessingContext(
+                now=self.simulator.now,
+                direction=direction,
+                client_ip=self.client_ip,
+                station_name=self.station.name,
+            )
+            outputs.extend(self.nf.process_batch(group, context))
+        self.packets_processed += len(packets)
+        for output in outputs:
+            heading_down = output.ip is not None and output.ip.dst == self.client_ip
+            output.metadata["gnf_dir"] = "down" if heading_down else "up"
+        if outputs:
+            self._egress_container_iface.send_batch(outputs)
 
     def describe(self) -> Dict[str, object]:
         description = self.nf.describe()
@@ -225,6 +269,7 @@ class GNFAgent:
         )
         self.collector.add_source("resources", self.runtime.utilization)
         self.collector.add_source("switch", lambda: {k: float(v) for k, v in self.station.switch.summary().items()})
+        self.collector.add_source("fastpath", self.station.switch.flow_cache.stats)
         # Wired to the Manager by GNFManager.register_agent().
         self.control_channel: Optional[ControlChannel] = None
         self._manager_heartbeat_sink: Optional[Callable[[AgentHeartbeat], None]] = None
@@ -388,6 +433,7 @@ class GNFAgent:
                 self.runtime.stop(deployed.container)
         deployment.deployed_nfs.clear()
         self.deployments.pop(deployment.assignment_id, None)
+        self.flush_client_flows(deployment.client_ip)
 
     # ----------------------------------------------------------- flow rules
 
@@ -442,10 +488,27 @@ class GNFAgent:
         deployment.rules_installed = True
 
     def remove_chain_rules(self, deployment: ChainDeployment) -> int:
-        """Remove every steering rule belonging to a deployment."""
+        """Remove every steering rule belonging to a deployment.
+
+        The rule removal bumps the flow-table generation, so every cached
+        fast-path verdict on this switch self-invalidates; the client's own
+        entries are additionally flushed eagerly so no packet already keyed
+        into the cache can be replayed against the torn-down chain.
+        """
         removed = self.station.switch.flow_table.remove_by_cookie(deployment.cookie)
         deployment.rules_installed = False
+        if removed:
+            self.flush_client_flows(deployment.client_ip)
         return removed
+
+    def flush_client_flows(self, client_ip: str) -> int:
+        """Drop every fast-path cache entry touching ``client_ip``.
+
+        Called on chain teardown and by the roaming coordinator after a
+        migration: a stale cached verdict must never keep steering a roamed
+        client's traffic into the old station's (now removed) chain.
+        """
+        return self.station.switch.flow_cache.flush_ip(client_ip)
 
     def set_chain_active(self, assignment_id: str, active: bool) -> bool:
         """Enable/disable steering without touching the containers (scheduler path)."""
@@ -555,6 +618,7 @@ class GNFAgent:
             "profile": self.station.profile.name,
             "resources": self.runtime.utilization(),
             "switch": self.station.switch.summary(),
+            "fastpath": self.station.switch.flow_cache.stats(),
             "deployments": {
                 assignment_id: {
                     "client": deployment.client_ip,

@@ -148,7 +148,11 @@ class RoamingCoordinator:
             assignment.state = AssignmentState.FAILED
             assignment.failure_reason = detail
         # Remove the old chain regardless; the station the client left should
-        # not keep spending resources on it.
+        # not keep spending resources on it.  The removal also invalidates the
+        # old station's fast path: remove_chain flushes the client's cached
+        # verdicts and the rule removal bumps the table generation, so no
+        # stale verdict can keep steering the roamed client's traffic into
+        # the chain being torn down.
         old_agent = self.manager.agents.get(old_station)
         if old_agent is not None and old_station != record.to_station:
             channel = self.manager.channels[old_station]

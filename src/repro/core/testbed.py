@@ -50,6 +50,9 @@ class TestbedConfig:
     handover_delay_s: float = 0.05
     handover_hysteresis_db: float = 4.0
     placement: Optional[PlacementStrategy] = None
+    #: Flow-cached fast path on the station switches (disable to measure the
+    #: pure slow-path baseline, e.g. in benchmark E6).
+    fastpath_enabled: bool = True
 
 
 class GNFTestbed:
@@ -69,6 +72,7 @@ class GNFTestbed:
                 core_delay_s=self.config.core_delay_s,
                 server_count=self.config.server_count,
                 dns_zone=dict(self.config.dns_zone),
+                fastpath_enabled=self.config.fastpath_enabled,
             ),
         )
         self.repository = NFRepository.with_default_catalog()

@@ -151,6 +151,28 @@ class FlowTable:
     def __init__(self, name: str = "table0") -> None:
         self.name = name
         self._rules: List[FlowRule] = []
+        #: Bumped on every rule install/remove.  The switch's flow cache stamps
+        #: each verdict with the generation it was compiled under, so cache
+        #: entries self-invalidate the moment the table changes (critical for
+        #: roaming: a migration must not leave stale verdicts steering traffic
+        #: to the old station).
+        self.generation = 0
+        self._metadata_keys: Tuple[str, ...] = ()
+
+    @property
+    def referenced_metadata_keys(self) -> Tuple[str, ...]:
+        """Sorted metadata keys some installed rule matches on.
+
+        The fast path folds exactly these keys into its :class:`~repro.netem
+        .fastpath.FlowKey`, so unrelated packet metadata does not fragment the
+        cache while metadata-steered rules (chain continuation) stay correct.
+        """
+        return self._metadata_keys
+
+    def _bump_generation(self) -> None:
+        self.generation += 1
+        keys = {key for rule in self._rules for key, _ in rule.match.metadata}
+        self._metadata_keys = tuple(sorted(keys))
 
     # ------------------------------------------------------------ mutation
 
@@ -158,6 +180,7 @@ class FlowTable:
         """Add a rule and keep the table sorted by descending priority."""
         self._rules.append(rule)
         self._rules.sort(key=lambda r: (-r.priority, -r.rule_id))
+        self._bump_generation()
         return rule
 
     def add(
@@ -174,16 +197,24 @@ class FlowTable:
         """Remove a single rule by id; returns True if something was removed."""
         before = len(self._rules)
         self._rules = [rule for rule in self._rules if rule.rule_id != rule_id]
-        return len(self._rules) != before
+        removed = len(self._rules) != before
+        if removed:
+            self._bump_generation()
+        return removed
 
     def remove_by_cookie(self, cookie: str) -> int:
         """Remove every rule installed under ``cookie``; returns the count."""
         before = len(self._rules)
         self._rules = [rule for rule in self._rules if rule.cookie != cookie]
-        return before - len(self._rules)
+        removed = before - len(self._rules)
+        if removed:
+            self._bump_generation()
+        return removed
 
     def clear(self) -> None:
-        self._rules.clear()
+        if self._rules:
+            self._rules.clear()
+            self._bump_generation()
 
     # ------------------------------------------------------------- lookup
 
@@ -208,6 +239,7 @@ class FlowTable:
         """Aggregate table statistics (for the Manager's monitoring view)."""
         return {
             "rules": len(self._rules),
+            "generation": self.generation,
             "packets_matched": sum(rule.packets_matched for rule in self._rules),
             "bytes_matched": sum(rule.bytes_matched for rule in self._rules),
         }

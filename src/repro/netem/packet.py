@@ -191,6 +191,14 @@ class Packet:
     Packets are mutable on purpose: NFs rewrite headers (NAT, DNS load
     balancer) exactly as their real counterparts would.  ``copy()`` produces
     a deep-enough clone for fan-out situations (e.g. flooding).
+
+    ``size_bytes`` is computed lazily and cached -- it is consulted many
+    times per hop (port counters, link serialization, NF accounting) and
+    recomputing it dominated the data plane.  In-place *field* rewrites
+    (addresses, ports, TTL) never change the size; replacing ``app`` or
+    ``payload_bytes`` does and invalidates the cache through their setters.
+    Swapping a header object for one of the same type (``swapped()`` /
+    ``reply()``) is size-neutral by construction.
     """
 
     __slots__ = (
@@ -198,8 +206,9 @@ class Packet:
         "eth",
         "ip",
         "l4",
-        "app",
-        "payload_bytes",
+        "_app",
+        "_payload_bytes",
+        "_size_cache",
         "created_at",
         "metadata",
         "hops",
@@ -218,8 +227,9 @@ class Packet:
         self.eth = eth
         self.ip = ip
         self.l4 = l4
-        self.app = app
-        self.payload_bytes = payload_bytes
+        self._app = app
+        self._payload_bytes = payload_bytes
+        self._size_cache: Optional[int] = None
         self.created_at = created_at
         self.metadata: Dict[str, object] = {}
         self.hops = 0
@@ -227,9 +237,33 @@ class Packet:
     # -------------------------------------------------------------- size
 
     @property
+    def app(self) -> ApplicationPayload:
+        return self._app
+
+    @app.setter
+    def app(self, value: ApplicationPayload) -> None:
+        self._app = value
+        self._size_cache = None
+
+    @property
+    def payload_bytes(self) -> int:
+        return self._payload_bytes
+
+    @payload_bytes.setter
+    def payload_bytes(self, value: int) -> None:
+        self._payload_bytes = value
+        self._size_cache = None
+
+    @property
     def size_bytes(self) -> int:
         """Total on-the-wire size, derived from present headers + payload."""
-        size = self.payload_bytes
+        cached = self._size_cache
+        if cached is None:
+            cached = self._size_cache = self._compute_size()
+        return cached
+
+    def _compute_size(self) -> int:
+        size = self._payload_bytes
         if self.eth is not None:
             size += ETHERNET_HEADER_BYTES
         if self.ip is not None:
@@ -240,11 +274,12 @@ class Packet:
             size += UDP_HEADER_BYTES
         elif isinstance(self.l4, ICMPHeader):
             size += ICMP_HEADER_BYTES
-        if isinstance(self.app, HTTPRequest):
-            size += 200 + self.app.body_bytes  # request line + headers estimate
-        elif isinstance(self.app, HTTPResponse):
-            size += 200 + self.app.body_bytes
-        elif isinstance(self.app, (DNSQuery, DNSResponse)):
+        app = self._app
+        if isinstance(app, HTTPRequest):
+            size += 200 + app.body_bytes  # request line + headers estimate
+        elif isinstance(app, HTTPResponse):
+            size += 200 + app.body_bytes
+        elif isinstance(app, (DNSQuery, DNSResponse)):
             size += 48
         return max(size, 64)
 

@@ -39,10 +39,12 @@ class Event:
     """A scheduled callback.
 
     Events are returned by :meth:`Simulator.schedule` and can be cancelled
-    before they fire.  An event fires exactly once.
+    before they fire.  An event fires exactly once; its callback's return
+    value is kept in :attr:`result` so processes waiting on the event can be
+    resumed with it (even if they start waiting after the event fired).
     """
 
-    __slots__ = ("time", "callback", "args", "kwargs", "cancelled", "fired", "name")
+    __slots__ = ("time", "callback", "args", "kwargs", "cancelled", "fired", "name", "result", "_waiters", "_simulator")
 
     def __init__(
         self,
@@ -59,10 +61,40 @@ class Event:
         self.cancelled = False
         self.fired = False
         self.name = name or getattr(callback, "__name__", "event")
+        self.result: Any = None
+        self._waiters: Optional[List[Callable[[Any], None]]] = None
+        self._simulator: Optional["Simulator"] = None
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Cancelling a fired event is a no-op."""
+        """Prevent the event from firing.  Cancelling a fired event is a no-op.
+
+        Processes already waiting on the event are resumed with ``None``
+        (instead of being silently stranded for the rest of the run).
+        """
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._simulator is not None:
+            self._simulator._note_cancelled()
+        if self._waiters is not None:
+            waiters, self._waiters = self._waiters, None
+            for waiter in waiters:
+                if self._simulator is not None:
+                    self._simulator.schedule(0.0, waiter, None)
+                else:
+                    waiter(None)
+
+    def add_waiter(self, waiter: Callable[[Any], None]) -> None:
+        """Register a callback invoked with the event's result when it fires.
+
+        Multiple waiters are supported; they are notified in registration
+        order right after the event's own callback ran.  (This is what lets
+        several processes wait on the same event without clobbering each
+        other -- the old implementation rebound ``callback`` instead.)
+        """
+        if self._waiters is None:
+            self._waiters = []
+        self._waiters.append(waiter)
 
     @property
     def pending(self) -> bool:
@@ -80,7 +112,9 @@ class Process:
     The wrapped generator may ``yield``:
 
     * a ``float``/``int`` -- sleep for that many simulated seconds,
-    * an :class:`Event` -- resume immediately after the event fires,
+    * an :class:`Event` -- resume immediately after the event fires (an
+      already-fired event resumes at once with its result; a cancelled
+      event resumes with ``None``),
     * another :class:`Process` -- resume when that process terminates.
 
     The value sent back into the generator after waiting on an event or a
@@ -115,14 +149,16 @@ class Process:
         if isinstance(target, (int, float)):
             self.simulator.schedule(float(target), self._step, None)
         elif isinstance(target, Event):
-            original = target.callback
-
-            def chained(*args: Any, **kwargs: Any) -> Any:
-                result = original(*args, **kwargs)
-                self._step(result)
-                return result
-
-            target.callback = chained
+            if target.fired:
+                # Already-fired events resume the process immediately (like
+                # waiting on a finished process) instead of hanging forever.
+                self.simulator.schedule(0.0, self._step, target.result)
+            elif target.cancelled:
+                # Cancelled events resume the waiter with None, mirroring
+                # what Event.cancel() does for already-registered waiters.
+                self.simulator.schedule(0.0, self._step, None)
+            else:
+                target.add_waiter(self._step)
         elif isinstance(target, Process):
             if target.finished:
                 self.simulator.schedule(0.0, self._step, target.result)
@@ -204,6 +240,7 @@ class Simulator:
         self._sequence = itertools.count()
         self._running = False
         self._event_count = 0
+        self._cancelled_in_queue = 0
 
     # ------------------------------------------------------------------ clock
 
@@ -219,8 +256,21 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still on the queue (including cancelled ones)."""
+        """Number of **live** events still on the queue.
+
+        Cancelled events linger in the heap until their time comes up (lazy
+        deletion), but they are excluded here so teardown assertions and
+        benchmark reports count only events that will actually fire.
+        """
+        return len(self._queue) - self._cancelled_in_queue
+
+    @property
+    def queued_events(self) -> int:
+        """Raw queue length, including cancelled-but-not-yet-popped events."""
         return len(self._queue)
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_queue += 1
 
     # ------------------------------------------------------------- scheduling
 
@@ -237,6 +287,7 @@ class Simulator:
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
         event = Event(time, callback, args, kwargs)
+        event._simulator = self
         heapq.heappush(self._queue, _QueueEntry(time, next(self._sequence), event))
         return event
 
@@ -289,12 +340,17 @@ class Simulator:
                 heapq.heappop(self._queue)
                 event = entry.event
                 if event.cancelled:
+                    self._cancelled_in_queue -= 1
                     continue
                 self._now = entry.time
                 event.fired = True
-                event.callback(*event.args, **event.kwargs)
+                event.result = event.callback(*event.args, **event.kwargs)
                 self._event_count += 1
                 processed += 1
+                if event._waiters is not None:
+                    waiters, event._waiters = event._waiters, None
+                    for waiter in waiters:
+                        waiter(event.result)
                 if max_events is not None and processed >= max_events:
                     break
         finally:

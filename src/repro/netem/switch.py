@@ -17,8 +17,21 @@ resource consumption" view shown in the demo UI.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.netem.fastpath import (
+    OP_DROP,
+    OP_FLOOD,
+    OP_OUTPUT,
+    OP_SET_ETH_DST,
+    OP_SET_ETH_SRC,
+    OP_SET_IP_DST,
+    OP_SET_IP_SRC,
+    OP_SET_METADATA,
+    CompiledVerdict,
+    FlowCache,
+    FlowKey,
+)
 from repro.netem.flowtable import Action, ActionType, FlowRule, FlowTable
 from repro.netem.host import Host, Interface
 from repro.netem.packet import BROADCAST_MAC, Packet
@@ -71,13 +84,27 @@ class SoftwareSwitch(Host):
         simulator: Simulator,
         name: str,
         forwarding_delay_s: float = 20e-6,
+        fastpath_enabled: bool = True,
+        flow_cache_capacity: int = 8192,
     ) -> None:
         super().__init__(simulator, name)
         self.flow_table = FlowTable(name=f"{name}-flows")
         self.forwarding_delay_s = forwarding_delay_s
+        #: When enabled, flow-table verdicts are cached in an exact-match
+        #: microflow cache keyed by the packet's FlowKey; cache hits skip the
+        #: scheduled forwarding-delay event and the linear rule walk entirely
+        #: (the kernel-datapath hit of a real OVS deployment).
+        self.fastpath_enabled = fastpath_enabled
+        self.flow_cache = FlowCache(name=f"{name}-cache", capacity=flow_cache_capacity)
         self.ports: Dict[int, SwitchPort] = {}
         self._interface_to_port: Dict[str, int] = {}
         self.mac_table: Dict[str, int] = {}
+        # Per-in-port deadline of the latest scheduled slow-path packet.  A
+        # cache hit must not overtake packets of the same port still deferred
+        # in the slow path (the miss -> hit transition window), so hits are
+        # queued behind this deadline; in steady state it lies in the past
+        # and hits apply inline.
+        self._slowpath_busy_until: Dict[int, float] = {}
         self._next_port = 1
         self.packets_forwarded = 0
         self.packets_flooded = 0
@@ -136,17 +163,213 @@ class SoftwareSwitch(Host):
         if packet.eth is not None and packet.eth.src != BROADCAST_MAC:
             self.mac_table[packet.eth.src] = in_port
 
+        if self.fastpath_enabled:
+            verdict = self._fastpath_lookup(packet, in_port)
+            if verdict is not None:
+                deadline = self._slowpath_busy_until.get(in_port, 0.0)
+                if deadline > self.simulator.now:
+                    # Earlier packets of this port are still deferred in the
+                    # slow path: preserve per-port FIFO by queueing the hit
+                    # behind them (insertion order breaks the time tie).
+                    # Counters and actions apply at the deadline, once the
+                    # verdict is confirmed still fresh.
+                    self.simulator.schedule_at(
+                        deadline, self._apply_deferred, packet, in_port, verdict
+                    )
+                else:
+                    verdict.rule.record(packet)
+                    self._apply_verdict(packet, in_port, verdict, self._output)
+                return
+        self._to_slow_path(packet, in_port)
+
+    def receive_batch(self, packets: Sequence[Packet], interface: Interface) -> None:
+        """Classify and forward a whole batch in one pass.
+
+        Cache hits are grouped per verdict with their outputs coalesced (one
+        downstream link event per verdict instead of one per packet); misses
+        -- and hits on rare verdict shapes the batch path does not pre-decode
+        (flood, field rewrites) -- fall through to the per-packet slow path,
+        where the verdict is compiled into the cache for the rest of the flow.
+        Counters and metadata mutations are applied at flush time, after the
+        verdicts are confirmed still fresh.
+        """
+        packets = list(packets)
+        if not packets:
+            return
+        in_port = self._interface_to_port.get(interface.name)
+        if in_port is None:
+            self.rx_packets += len(packets)
+            self.packets_dropped += len(packets)
+            return
+        port = self.ports[in_port]
+        self.rx_packets += len(packets)
+        port.stats.rx_packets += len(packets)
+
+        mac_table = self.mac_table
+        fastpath = self.fastpath_enabled
+        cache = self.flow_cache
+        metadata_keys = self.flow_table.referenced_metadata_keys
+        generation = self.flow_table.generation
+        # Hit packets are grouped by what will be done to them -- (out_port,
+        # metadata tag) -- so different flows sharing an application (e.g.
+        # every client flow steered up the same chain hop) coalesce into one
+        # downstream batch.  Per-rule counter updates are remembered per
+        # packet and applied at flush time, once freshness is confirmed.
+        pending: Dict[tuple, List[Packet]] = {}
+        records: List[tuple] = []
+        complex_hits: List[tuple] = []
+        slow: List[Packet] = []
+        total_bytes = 0
+
+        extract = FlowKey.extract
+        for packet in packets:
+            size = packet.size_bytes
+            total_bytes += size
+            eth = packet.eth
+            if eth is not None and eth.src != BROADCAST_MAC:
+                mac_table[eth.src] = in_port
+            verdict = None
+            if fastpath:
+                try:
+                    verdict = cache.lookup(extract(packet, in_port, metadata_keys), generation)
+                except TypeError:  # unhashable metadata value: slow path
+                    verdict = None
+            if verdict is None:
+                slow.append(packet)
+                continue
+            if verdict.fast_port is None:
+                # Rare shapes (drop, flood, field rewrites) replay per packet
+                # at flush time -- still a cache hit, no table walk.
+                complex_hits.append((verdict, packet))
+                continue
+            records.append((verdict.rule, size))
+            group = (verdict.fast_port, verdict.fast_meta)
+            queue = pending.get(group)
+            if queue is None:
+                queue = pending[group] = []
+            queue.append(packet)
+
+        port.stats.rx_bytes += total_bytes
+        for packet in slow:
+            self._to_slow_path(packet, in_port)
+        # Hits must not overtake packets of the same port still deferred in
+        # the slow path (earlier arrivals, or misses of this very batch);
+        # note same-flow packets classify identically within one batch, so
+        # deferring the flush only reorders across flows, never within one.
+        deadline = self._slowpath_busy_until.get(in_port, 0.0)
+        if pending or complex_hits:
+            if deadline > self.simulator.now:
+                self.simulator.schedule_at(
+                    deadline, self._flush_pending, pending, records, complex_hits, in_port, generation
+                )
+            else:
+                self._flush_pending(pending, records, complex_hits, in_port, generation)
+
+    def _apply_deferred(self, packet: Packet, in_port: int, verdict: CompiledVerdict) -> None:
+        """Apply a hit that was queued behind the slow path, unless it went stale.
+
+        The flow table may have changed inside the deferral window (e.g. a
+        migration tearing down chain rules); replaying the captured verdict
+        then would forward where the live table no longer would, so a stale
+        verdict is sent back through the full pipeline instead (which also
+        re-records the counters against whatever rule matches now).
+        """
+        if verdict.generation != self.flow_table.generation:
+            self._pipeline(packet, in_port)
+            return
+        verdict.rule.record(packet)
+        self._apply_verdict(packet, in_port, verdict, self._output)
+
+    def _flush_pending(
+        self,
+        pending: Dict[tuple, List[Packet]],
+        records: List[tuple],
+        complex_hits: List[tuple],
+        in_port: int,
+        generation: int,
+    ) -> None:
+        if generation != self.flow_table.generation:
+            # Table changed while the flush was queued: the captured verdicts
+            # are stale, so every packet goes back through the pipeline
+            # untouched (no counters were recorded, no metadata was stamped).
+            for ready in pending.values():
+                for packet in ready:
+                    self._pipeline(packet, in_port)
+            for _, packet in complex_hits:
+                self._pipeline(packet, in_port)
+            return
+        for rule, size in records:
+            rule.packets_matched += 1
+            rule.bytes_matched += size
+        for (out_port, meta), ready in pending.items():
+            if meta is not None:
+                key, value = meta
+                for packet in ready:
+                    packet.metadata[key] = value
+            self._output_batch(ready, out_port)
+        for verdict, packet in complex_hits:
+            verdict.rule.record(packet)
+            self._apply_verdict(packet, in_port, verdict, self._output)
+
+    def _to_slow_path(self, packet: Packet, in_port: int) -> None:
         if self.forwarding_delay_s > 0:
-            self.simulator.schedule(self.forwarding_delay_s, self._pipeline, packet, in_port)
+            deadline = self.simulator.now + self.forwarding_delay_s
+            busy = self._slowpath_busy_until
+            if deadline > busy.get(in_port, 0.0):
+                busy[in_port] = deadline
+            self.simulator.schedule_at(deadline, self._pipeline, packet, in_port)
         else:
             self._pipeline(packet, in_port)
+
+    def _fastpath_lookup(self, packet: Packet, in_port: int) -> Optional[CompiledVerdict]:
+        try:
+            key = FlowKey.extract(packet, in_port, self.flow_table.referenced_metadata_keys)
+            return self.flow_cache.lookup(key, self.flow_table.generation)
+        except TypeError:  # unhashable metadata value: stay on the slow path
+            return None
 
     def _pipeline(self, packet: Packet, in_port: int) -> None:
         rule = self.flow_table.lookup(packet, in_port)
         if rule is not None:
+            if self.fastpath_enabled:
+                # Compile the verdict *before* applying actions: actions may
+                # mutate the very fields the key was derived from.
+                try:
+                    key = FlowKey.extract(packet, in_port, self.flow_table.referenced_metadata_keys)
+                    self.flow_cache.store(key, CompiledVerdict(rule, self.flow_table.generation))
+                except TypeError:
+                    pass
             self._apply_actions(packet, in_port, rule)
             return
         self._l2_forward(packet, in_port)
+
+    def _apply_verdict(
+        self,
+        packet: Packet,
+        in_port: int,
+        verdict: CompiledVerdict,
+        output: Callable[[Packet, int], None],
+    ) -> None:
+        """Replay a compiled verdict; ``output`` routes emitted packets."""
+        for opcode, value in verdict.ops:
+            if opcode == OP_OUTPUT:
+                output(packet, value)  # type: ignore[arg-type]
+            elif opcode == OP_DROP:
+                self.packets_dropped += 1
+                return
+            elif opcode == OP_SET_METADATA:
+                key, meta_value = value  # type: ignore[misc]
+                packet.metadata[key] = meta_value
+            elif opcode == OP_FLOOD:
+                self._flood(packet, in_port)
+            elif opcode == OP_SET_ETH_DST and packet.eth is not None:
+                packet.eth.dst = str(value)
+            elif opcode == OP_SET_ETH_SRC and packet.eth is not None:
+                packet.eth.src = str(value)
+            elif opcode == OP_SET_IP_DST and packet.ip is not None:
+                packet.ip.dst = str(value)
+            elif opcode == OP_SET_IP_SRC and packet.ip is not None:
+                packet.ip.src = str(value)
 
     def _apply_actions(self, packet: Packet, in_port: int, rule: FlowRule) -> None:
         for action in rule.actions:
@@ -196,6 +419,19 @@ class SoftwareSwitch(Host):
         self.tx_packets += 1
         port.interface.send(packet)
 
+    def _output_batch(self, packets: List[Packet], port_number: int) -> None:
+        port = self.ports.get(port_number)
+        if port is None:
+            self.packets_dropped += len(packets)
+            return
+        count = len(packets)
+        size = sum(packet.size_bytes for packet in packets)
+        port.stats.tx_packets += count
+        port.stats.tx_bytes += size
+        self.packets_forwarded += count
+        self.tx_packets += count
+        port.interface.send_batch(packets)
+
     def _flood(self, packet: Packet, in_port: int) -> None:
         self.packets_flooded += 1
         for number, port in self.ports.items():
@@ -221,4 +457,7 @@ class SoftwareSwitch(Host):
             "packets_flooded": self.packets_flooded,
             "packets_dropped": self.packets_dropped,
             "mac_entries": len(self.mac_table),
+            "fastpath_hits": self.flow_cache.hits,
+            "fastpath_misses": self.flow_cache.misses,
+            "fastpath_entries": len(self.flow_cache),
         }

@@ -70,6 +70,8 @@ class TopologyConfig:
     server_count: int = 1
     server_http_body_bytes: int = 10_000
     dns_zone: Dict[str, List[str]] = field(default_factory=dict)
+    #: Enable the flow-cached fast path on every station switch.
+    fastpath_enabled: bool = True
 
 
 class EdgeStation:
@@ -87,13 +89,17 @@ class EdgeStation:
         name: str,
         profile: StationProfile,
         position: Tuple[float, float] = (0.0, 0.0),
+        fastpath_enabled: bool = True,
     ) -> None:
         self.simulator = simulator
         self.name = name
         self.profile = profile
         self.position = position
         self.switch = SoftwareSwitch(
-            simulator, name=f"{name}-switch", forwarding_delay_s=profile.switch_forwarding_delay_s
+            simulator,
+            name=f"{name}-switch",
+            forwarding_delay_s=profile.switch_forwarding_delay_s,
+            fastpath_enabled=fastpath_enabled,
         )
         self.uplink_port: Optional[int] = None
         self.cell_ports: Dict[str, int] = {}
@@ -289,6 +295,7 @@ class EdgeTopology:
             name=name,
             profile=profile or self.config.station_profile,
             position=position or (index * self.config.station_spacing_m, 0.0),
+            fastpath_enabled=self.config.fastpath_enabled,
         )
         # Station-side uplink interface plugged into the station switch.
         station_uplink_iface = Interface(name=f"{name}-uplink", mac=self.addresses.allocate_mac())

@@ -6,6 +6,7 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines.no_migration import NoMigrationCoordinator
+from repro.netem import packet as pkt
 from repro.core.chain import ServiceChain
 from repro.core.manager import AssignmentState
 from repro.core.roaming import RoamingCoordinator
@@ -134,6 +135,75 @@ def test_service_continuity_through_roaming():
     assert generator.responses_received > 0.8 * generator.packets_sent
     new_deployment = testbed.agents["station-2"].deployment_for_client(client.ip)
     assert new_deployment.deployed_nfs[0].packets_processed > 0
+
+
+@pytest.mark.parametrize("strategy", ["cold", "stateful", "precopy"])
+def test_migration_flushes_stale_fastpath_verdicts(strategy):
+    """After a migration no stale cached verdict may survive at the old station.
+
+    The client's traffic ran through station-1's chain long enough to warm the
+    flow cache with chain-steering verdicts; once the migration completes the
+    old station must hold neither chain rules nor cache entries keyed on the
+    client, so nothing can replay a verdict that outputs into the torn-down
+    NF ports.
+    """
+    testbed, client, assignment = roaming_scenario(strategy)
+    generator = CBRTrafficGenerator(testbed.simulator, client, server_ip=testbed.server_ip, rate_pps=50)
+    generator.start()
+    testbed.run(2.0)
+    old_switch = testbed.topology.station("station-1").switch
+    # The chain is active and traffic is flowing: the cache is warm with
+    # verdicts that reference the client's flows.
+    assert any(
+        key.ip_src == client.ip or key.ip_dst == client.ip
+        for key in old_switch.flow_cache._entries
+    )
+    testbed.run(43.0)
+    generator.stop()
+    record = testbed.roaming.records[0]
+    assert record.success and record.to_station == "station-2"
+    # No chain remains at the old station...
+    assert testbed.agents["station-1"].deployment_for_client(client.ip) is None
+    # ...and no cache entry touching the client remains either: a flush of the
+    # client's entries finds nothing left to remove.
+    assert old_switch.flow_cache.flush_ip(client.ip) == 0
+    # Any verdict still cached must trace back to a rule still installed in
+    # the live table (no dangling chain rules).
+    live_rule_ids = {rule.rule_id for rule in old_switch.flow_table.rules()}
+    for verdict in old_switch.flow_cache._entries.values():
+        assert verdict.rule.rule_id in live_rule_ids or verdict.generation != old_switch.flow_table.generation
+    # Traffic kept flowing through the new station after the move.
+    assert generator.responses_received > 0
+    new_deployment = testbed.agents["station-2"].deployment_for_client(client.ip)
+    assert new_deployment is not None
+
+
+def test_stale_verdict_cannot_forward_after_migration():
+    """A packet arriving at the old station post-migration is not steered into
+    the removed chain: it takes the default path, and the old NFs see nothing."""
+    testbed, client, assignment = roaming_scenario("cold")
+    generator = CBRTrafficGenerator(testbed.simulator, client, server_ip=testbed.server_ip, rate_pps=50)
+    generator.start()
+    testbed.run(2.0)
+    old_deployment = testbed.agents["station-1"].deployment_for_client(client.ip)
+    old_nfs = list(old_deployment.deployed_nfs)
+    assert any(deployed.packets_processed > 0 for deployed in old_nfs)
+    testbed.run(43.0)
+    generator.stop()
+    assert testbed.roaming.records[0].success
+    processed_at_migration = [deployed.packets_processed for deployed in old_nfs]
+    # Replay the freshest possible "stale" packet at the old station: same
+    # five-tuple the cache was warmed with, injected at the old cell port.
+    old_station = testbed.topology.station("station-1")
+    old_switch = old_station.switch
+    cell_port = next(iter(old_station.cell_ports.values()))
+    stale = pkt.make_udp_packet(
+        src_ip=client.ip, dst_ip=testbed.server_ip, src_port=40001, dst_port=9000
+    )
+    old_switch.receive_packet(stale, old_switch.ports[cell_port].interface)
+    testbed.run(1.0)
+    # The old chain's NFs processed nothing new.
+    assert [deployed.packets_processed for deployed in old_nfs] == processed_at_migration
 
 
 def test_no_migration_baseline_loses_coverage():

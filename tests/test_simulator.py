@@ -197,6 +197,115 @@ def test_process_can_wait_on_another_process():
     assert order[1] == ("outer-resumed", "payload", 2.0)
 
 
+def test_process_can_wait_on_event():
+    sim = Simulator()
+    resumed = []
+
+    def worker(event):
+        result = yield event
+        resumed.append((sim.now, result))
+
+    event = sim.schedule(2.0, lambda: "fired-result")
+    sim.process(worker(event))
+    sim.run()
+    assert resumed == [(2.0, "fired-result")]
+
+
+def test_process_waiting_on_already_fired_event_resumes_immediately():
+    """A fired event behaves like a finished process: resume, don't hang."""
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: 99)
+    sim.run()
+    resumed = []
+
+    def worker():
+        result = yield event
+        resumed.append((sim.now, result))
+
+    sim.process(worker())
+    sim.run()
+    assert resumed == [(1.0, 99)]
+
+
+def test_two_processes_can_wait_on_the_same_event():
+    """Waiters are chained; the second process must not clobber the first."""
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: "shared")
+    resumed = []
+
+    def worker(label):
+        result = yield event
+        resumed.append((label, result))
+
+    sim.process(worker("a"))
+    sim.process(worker("b"))
+    sim.run()
+    assert sorted(resumed) == [("a", "shared"), ("b", "shared")]
+
+
+def test_process_waiting_on_cancelled_event_resumes_with_none():
+    sim = Simulator()
+    event = sim.schedule(5.0, lambda: None)
+    event.cancel()
+    resumed = []
+
+    def worker():
+        result = yield event
+        resumed.append(result)
+
+    sim.process(worker())
+    sim.run()
+    assert resumed == [None]
+
+
+def test_cancel_after_wait_resumes_waiting_process():
+    """Cancelling an event a process is already waiting on must not strand it."""
+    sim = Simulator()
+    event = sim.schedule(5.0, lambda: "never")
+    resumed = []
+
+    def worker():
+        result = yield event
+        resumed.append((sim.now, result))
+
+    sim.process(worker())
+    sim.schedule(1.0, event.cancel)
+    sim.run()
+    assert resumed == [(1.0, None)]
+
+
+def test_event_waiter_does_not_disturb_callback_result():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: 7)
+    event.add_waiter(lambda result: None)
+    sim.run()
+    assert event.result == 7
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    live = sim.schedule(1.0, lambda: None)
+    doomed = sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    assert sim.queued_events == 2
+    doomed.cancel()
+    assert sim.pending_events == 1
+    assert sim.queued_events == 2  # lazy deletion keeps it in the heap
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.queued_events == 0
+    assert live.fired
+
+
+def test_double_cancel_does_not_skew_live_count():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.pending_events == 1
+
+
 def test_process_invalid_yield_raises():
     sim = Simulator()
 
