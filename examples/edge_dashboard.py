@@ -3,52 +3,95 @@
 an intrusion raising notifications, hotspot detection and the dashboard the
 demo UI would render.
 
+The deployment is written as an inline :class:`ScenarioSpec` -- this is the
+template to copy when authoring your own scenario -- and driven by the
+scenario engine; only the hand-crafted malware packets are injected on top
+of the live run.
+
 Run with::
 
-    python examples/edge_dashboard.py
+    python examples/edge_dashboard.py [seed]
 """
 
 from __future__ import annotations
 
-from repro import GNFTestbed, TestbedConfig
+import sys
+
 from repro.netem import packet as pkt
-from repro.netem.trafficgen import CBRTrafficGenerator, HTTPWorkloadGenerator
-from repro.wireless.mobility import CommuterMobility, StaticMobility
+from repro.scenarios import (
+    ChainAssignmentSpec,
+    ClientFleetSpec,
+    MobilitySpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 
 
-def main() -> None:
-    testbed = GNFTestbed(TestbedConfig(station_count=3, migration_strategy="precopy"))
+def build_spec(seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="edge-dashboard",
+        description="Three stations, pinned users plus a commuter, per-user NFs.",
+        seed=seed,
+        duration_s=99.0,
+        topology=TopologySpec(station_count=3, migration_strategy="precopy"),
+        fleets=[
+            ClientFleetSpec(
+                name="home-user",
+                position=(0.0, 0.0),
+                workloads=[WorkloadSpec(kind="http", start_s=9.0, params={"mean_think_time_s": 0.5})],
+            ),
+            ClientFleetSpec(
+                name="office-user",
+                position=(160.0, 0.0),
+                workloads=[WorkloadSpec(kind="cbr", start_s=9.0, params={"rate_pps": 30.0})],
+            ),
+            ClientFleetSpec(
+                name="commuter",
+                position=(80.0, 0.0),
+                mobility=MobilitySpec(
+                    model="commuter",
+                    start_s=1.0,
+                    params={"anchor_a": (80.0, 0.0), "anchor_b": (0.0, 0.0),
+                            "speed_mps": 6.0, "dwell_s": 20.0},
+                ),
+                workloads=[WorkloadSpec(kind="cbr", start_s=9.0, params={"rate_pps": 30.0})],
+            ),
+        ],
+        assignments=[
+            ChainAssignmentSpec(
+                fleet="home-user",
+                nfs=[
+                    {"nf_type": "cache", "config": {"capacity_mb": 16.0}},
+                    {"nf_type": "ids", "config": {"malware_signatures": ["EICAR"]}},
+                ],
+                attach_at_s=1.0,
+            ),
+            ChainAssignmentSpec(fleet="office-user", nfs=["firewall"], attach_at_s=1.2),
+            ChainAssignmentSpec(
+                fleet="commuter",
+                nfs=[{"nf_type": "rate-limiter", "config": {"rate_bps": 8e6}}],
+                attach_at_s=1.4,
+            ),
+        ],
+    )
 
-    # Three users: two pinned near their home stations, one commuting.
-    home = testbed.add_client("home-user", position=(0.0, 0.0))
-    office = testbed.add_client("office-user", position=(160.0, 0.0))
-    commuter = testbed.add_client("commuter", position=(80.0, 0.0))
-    testbed.start()
-    testbed.run(1.0)
-    StaticMobility(testbed.simulator, home).start()
-    StaticMobility(testbed.simulator, office).start()
-    CommuterMobility(testbed.simulator, commuter, anchor_a=(80.0, 0.0), anchor_b=(0.0, 0.0),
-                     speed_mps=6.0, dwell_s=20.0).start()
 
-    # Per-user services.
-    testbed.ui.attach_nf(home.ip, "cache", config={"capacity_mb": 16.0})
-    testbed.ui.attach_nf(home.ip, "ids", config={"malware_signatures": ["EICAR"]})
-    testbed.ui.attach_nf(office.ip, "firewall")
-    testbed.ui.attach_nf(commuter.ip, "rate-limiter", config={"rate_bps": 8e6})
-    testbed.run(8.0)
+def main(seed: int = 0) -> None:
+    run = ScenarioRunner(build_spec(seed)).start()
+    testbed = run.testbed
+    run.advance(9.0)
 
-    # Background traffic.
-    HTTPWorkloadGenerator(testbed.simulator, home, server_ip=testbed.server_ip, mean_think_time_s=0.5).start()
-    CBRTrafficGenerator(testbed.simulator, office, server_ip=testbed.server_ip, rate_pps=30).start()
-    CBRTrafficGenerator(testbed.simulator, commuter, server_ip=testbed.server_ip, rate_pps=30).start()
-
-    # A piece of malware phones home from the home user's network.
+    # A piece of malware phones home from the home user's network -- the one
+    # bespoke ingredient the declarative spec does not carry.
+    home = testbed.clients["home-user-1"]
     for index in range(3):
         bad = pkt.make_tcp_packet(home.ip, testbed.server_ip, 45000 + index, 80)
         bad.metadata["payload_signature"] = "EICAR"
-        testbed.simulator.schedule(15.0 + index, home.send_packet, bad)
+        testbed.simulator.schedule(6.0 + index, home.send_packet, bad)
 
-    testbed.run(90.0)
+    run.advance(90.0)
 
     print(testbed.ui.render_overview())
     print()
@@ -66,6 +109,10 @@ def main() -> None:
     hotspots = testbed.manager.hotspots.hotspot_stations()
     print(f"Hotspot stations flagged by the Manager: {hotspots or 'none'}")
 
+    result = run.finalize()
+    print()
+    print(f"scenario replay digest: {result.digest.hexdigest} (seed {result.seed})")
+
 
 if __name__ == "__main__":
-    main()
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 0)

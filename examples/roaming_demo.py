@@ -2,57 +2,43 @@
 """The paper's demo (Fig. 2): a smartphone with a firewall, HTTP filter and
 DNS load balancer roams between two wireless networks and its NFs follow.
 
+The storyline is the canned ``fig2-roaming`` scenario; this script replays
+it phase by phase and narrates what the spec makes happen.
+
 Run with::
 
-    python examples/roaming_demo.py [cold|stateful|precopy]
+    python examples/roaming_demo.py [cold|stateful|precopy] [seed]
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro import GNFTestbed, TestbedConfig
-from repro.core.chain import NFSpec, ServiceChain
-from repro.netem.trafficgen import DNSWorkloadGenerator, HTTPWorkloadGenerator
-from repro.wireless.mobility import LinearMobility
+from repro.scenarios import ScenarioRunner, build_scenario
 
 
-def main(strategy: str = "cold") -> None:
-    testbed = GNFTestbed(TestbedConfig(station_count=2, migration_strategy=strategy))
-    phone = testbed.add_client("smartphone", position=(0.0, 0.0))
-    testbed.start()
-    testbed.run(1.0)
+def main(strategy: str = "cold", seed: int = 0) -> None:
+    spec = build_scenario("fig2-roaming", seed=seed)
+    spec.topology.migration_strategy = strategy
+    run = ScenarioRunner(spec).start()
+    testbed = run.testbed
+
+    run.advance(1.0)
+    phone = testbed.clients["smartphone-1"]
     print(f"[{testbed.simulator.now:6.1f}s] {phone.name} attached to {phone.current_station_name}")
 
-    chain = ServiceChain(
-        [
-            NFSpec("firewall"),
-            NFSpec("http-filter", config={"blocked_hosts": ["blocked.example.com"]}),
-            NFSpec("dns-loadbalancer", config={"pools": {"cdn.example.com": ["198.18.0.1", "198.18.0.2"]}}),
-        ],
-        name="demo-chain",
-    )
-    assignment = testbed.ui.attach_chain(phone.ip, chain)
-    testbed.run(8.0)
+    run.advance(8.0)
+    assignment = run.assignments[0][1]
     print(f"[{testbed.simulator.now:6.1f}s] chain {assignment.chain.nf_types} active on "
           f"{assignment.station_name} after {assignment.attach_latency_s:.2f} s")
 
-    web = HTTPWorkloadGenerator(
-        testbed.simulator, phone, server_ip=testbed.server_ip,
-        sites=["blocked.example.com", "news.example.org"], mean_think_time_s=0.5,
-    )
-    dns = DNSWorkloadGenerator(testbed.simulator, phone, resolver_ip=testbed.server_ip,
-                               names=["cdn.example.com"], query_interval_s=1.0)
-    web.start()
-    dns.start()
-    testbed.run(10.0)
+    # Browsing + DNS run from t=9 (per the spec); the walk starts at t=19.
+    run.advance(10.0)
+    web = run.generators["smartphone-1/http0"]
     print(f"[{testbed.simulator.now:6.1f}s] browsing: {web.pages_fetched} pages, "
           f"{web.pages_blocked} blocked by the edge HTTP filter")
 
-    # The user walks towards the second network.
-    LinearMobility(testbed.simulator, phone, velocity_mps=(8.0, 0.0), destination=(80.0, 0.0)).start()
-    testbed.run(40.0)
-
+    run.advance(40.0)
     handover = testbed.handover.events[0]
     migration = testbed.roaming.records[0]
     print(f"[{handover.time:6.1f}s] handover {handover.old_cell} -> {handover.new_cell} "
@@ -62,16 +48,22 @@ def main(strategy: str = "cold") -> None:
           f"NF coverage gap {migration.coverage_gap_s:.2f} s, "
           f"{migration.state_transferred_mb:.1f} MB of state moved")
 
-    testbed.run(15.0)
+    run.advance(spec.duration_s - testbed.simulator.now)
     print(f"[{testbed.simulator.now:6.1f}s] blocked pages after roaming: {web.pages_blocked} "
           f"(policy followed the client)")
     print()
     print(testbed.ui.render_clients())
     print()
     print(testbed.ui.render_stations())
-    web.stop()
-    dns.stop()
+
+    result = run.finalize()
+    print()
+    print(f"scenario replay digest: {result.digest.hexdigest}")
+    print(f"(re-run with the same seed ({result.seed}) to reproduce it byte-for-byte)")
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "cold")
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else "cold",
+        int(sys.argv[2]) if len(sys.argv) > 2 else 0,
+    )

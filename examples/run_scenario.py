@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Run any canned scenario from the declarative scenario library.
+
+Usage::
+
+    python examples/run_scenario.py --list
+    python examples/run_scenario.py commuter-rush
+    python examples/run_scenario.py chaos-soak --seed 7
+    python examples/run_scenario.py rolling-failure --check-determinism
+
+``--check-determinism`` runs the scenario twice under the same seed and
+exits non-zero if the two telemetry digests differ (the CI smoke matrix
+uses this as its regression gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.scenarios import build_scenario, run_scenario, scenario_names
+
+
+def _print_result(result) -> None:
+    summary = result.summary()
+    print(f"scenario            : {summary.pop('scenario')}")
+    for key, value in summary.items():
+        print(f"  {key:18s}: {value}")
+    if result.workload_stats:
+        print("  workloads:")
+        for name, stats in result.workload_stats.items():
+            print(
+                f"    {name:28s} sent={stats['packets_sent']:8.0f} "
+                f"echoed={stats['responses_received']:8.0f} "
+                f"mean_rtt={stats['mean_rtt_s'] * 1e3:7.2f} ms "
+                f"loss={stats['loss_rate'] * 100:5.1f} %"
+            )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scenario", nargs="?", help="canned scenario name (see --list)")
+    parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    parser.add_argument("--list", action="store_true", help="list canned scenarios and exit")
+    parser.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="run twice with the same seed and fail if the digests differ",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.scenario:
+        print("Canned scenarios:")
+        for name in scenario_names():
+            spec = build_scenario(name)
+            print(f"  {name:22s} {spec.description}")
+        return 0
+
+    result = run_scenario(args.scenario, seed=args.seed)
+    _print_result(result)
+    if not result.drained:
+        print(
+            f"ERROR: {result.pending_events_after_teardown} events still live after teardown",
+            file=sys.stderr,
+        )
+        return 2
+    if args.check_determinism:
+        again = run_scenario(args.scenario, seed=args.seed)
+        if result.digest != again.digest:
+            print(
+                f"ERROR: scenario {args.scenario!r} is NOT deterministic; "
+                f"differing sections: {result.digest.diff(again.digest)}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"  determinism       : OK (replay digest {again.digest.short}... matches)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

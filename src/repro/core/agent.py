@@ -210,6 +210,11 @@ class ChainDeployment:
     requested_at: float = 0.0
     active_at: Optional[float] = None
     rules_installed: bool = False
+    #: Steering state requested by the scheduler.  While the deployment is
+    #: still booting this is only recorded; it is applied once the chain is
+    #: complete, so a disable racing an in-flight deployment can never leave
+    #: rules installed for a half-built chain (or vice versa).
+    desired_active: bool = True
 
     @property
     def cookie(self) -> str:
@@ -418,7 +423,10 @@ class GNFAgent:
                 on_complete(deployment, False, str(error))
             return
 
-        self.install_chain_rules(deployment)
+        # Honour the steering state the scheduler last asked for: a disable
+        # that raced the deployment leaves the chain booted but unsteered.
+        if deployment.desired_active:
+            self.install_chain_rules(deployment)
         deployment.active_at = self.simulator.now
         self.deployments_completed += 1
         if on_complete is not None:
@@ -515,6 +523,12 @@ class GNFAgent:
         deployment = self.deployments.get(assignment_id)
         if deployment is None:
             return False
+        deployment.desired_active = active
+        if deployment.active_at is None:
+            # Deployment still in flight: the request is recorded and applied
+            # by _deploy_process when the last container is wired, so rules
+            # are never installed against a partially built chain.
+            return True
         if active and not deployment.rules_installed:
             self.install_chain_rules(deployment)
         elif not active and deployment.rules_installed:

@@ -144,6 +144,17 @@ class RoamingCoordinator:
             assignment.migrations += 1
             assignment.state = AssignmentState.ACTIVE
             assignment.active_at = self.simulator.now
+            # Reconcile with the assignment's time schedule: the re-deploy at
+            # the new station steers by default, but if the schedule window is
+            # currently closed the chain must come up unsteered (the scheduler
+            # itself won't correct this -- it already recorded the assignment
+            # as disabled, so it sees no transition to drive).
+            if not assignment.schedule.is_active(self.simulator.now):
+                new_agent = self.manager.agents.get(record.to_station)
+                if new_agent is not None:
+                    self.manager.channels[record.to_station].call(
+                        new_agent.set_chain_active, assignment.assignment_id, False
+                    )
         else:
             assignment.state = AssignmentState.FAILED
             assignment.failure_reason = detail

@@ -37,7 +37,9 @@ class TimeSchedule:
     ``always`` schedules are active forever; ``windows`` schedules are active
     only inside the listed windows; ``daily`` schedules repeat a
     seconds-of-day window with a configurable day length (useful to compress
-    a day into a short simulation).
+    a day into a short simulation).  A daily window whose start is *after*
+    its end wraps around the day boundary -- e.g. ``(22h, 02h)`` is a
+    night-time window active from 22:00 until 02:00 the next day.
     """
 
     def __init__(
@@ -53,7 +55,7 @@ class TimeSchedule:
         self.day_length_s = day_length_s
         if daily_window is not None:
             start, end = daily_window
-            if not (0 <= start < end <= day_length_s):
+            if not (0 <= start <= day_length_s and 0 <= end <= day_length_s) or start == end:
                 raise ScheduleError(f"invalid daily window {daily_window!r} for day length {day_length_s}")
 
     @classmethod
@@ -66,6 +68,7 @@ class TimeSchedule:
 
     @classmethod
     def daily(cls, start_of_day_s: float, end_of_day_s: float, day_length_s: float = 86_400.0) -> "TimeSchedule":
+        """A window repeated every day; ``start > end`` wraps past midnight."""
         return cls(daily_window=(start_of_day_s, end_of_day_s), day_length_s=day_length_s)
 
     def is_active(self, now: float) -> bool:
@@ -77,7 +80,11 @@ class TimeSchedule:
         if self.daily_window is not None:
             second_of_day = now % self.day_length_s
             start, end = self.daily_window
-            return start <= second_of_day < end
+            if start < end:
+                return start <= second_of_day < end
+            # Wrapping window (e.g. 22:00 -> 02:00): active on either side of
+            # the day boundary.
+            return second_of_day >= start or second_of_day < end
         return False
 
 

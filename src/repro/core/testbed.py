@@ -10,6 +10,7 @@ the scenario instead of the wiring.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -18,6 +19,7 @@ from repro.core.manager import GNFManager
 from repro.core.placement import PlacementStrategy
 from repro.core.repository import NFRepository
 from repro.core.roaming import RoamingCoordinator
+from repro.core.seeds import derive_seed
 from repro.core.ui import GNFDashboard
 from repro.netem.simulator import Simulator
 from repro.netem.topology import EdgeTopology, StationProfile, TopologyConfig
@@ -34,6 +36,12 @@ class TestbedConfig:
     # Not a pytest test class, despite the name.
     __test__ = False
 
+    #: Master seed for the whole run.  Every RNG in the deployment (mobility,
+    #: workload generators, handover jitter, fault schedules) derives its own
+    #: child seed from this one via :func:`repro.core.seeds.derive_seed`, so
+    #: two testbeds built from the same config replay identically and varying
+    #: this single knob varies every random decision at once.
+    seed: int = 0
     station_count: int = 2
     cells_per_station: int = 1
     station_profile: StationProfile = field(default_factory=StationProfile.router_class)
@@ -49,6 +57,9 @@ class TestbedConfig:
     scan_interval_s: float = 0.5
     handover_delay_s: float = 0.05
     handover_hysteresis_db: float = 4.0
+    #: Uniform +/- jitter applied to every handover scan interval (models
+    #: unsynchronised Wi-Fi scan timers).  0 keeps scans strictly periodic.
+    handover_scan_jitter_s: float = 0.0
     placement: Optional[PlacementStrategy] = None
     #: Flow-cached fast path on the station switches (disable to measure the
     #: pure slow-path baseline, e.g. in benchmark E6).
@@ -90,6 +101,8 @@ class GNFTestbed:
             scan_interval_s=self.config.scan_interval_s,
             hysteresis_db=self.config.handover_hysteresis_db,
             handover_delay_s=self.config.handover_delay_s,
+            scan_jitter_s=self.config.handover_scan_jitter_s,
+            jitter_rng=random.Random(self.seed_for("handover", "scan-jitter")),
         )
         self.roaming = RoamingCoordinator(
             self.simulator, self.manager, strategy=self.config.migration_strategy
@@ -100,6 +113,17 @@ class GNFTestbed:
         self.clients: Dict[str, MobileClient] = {}
         self._build_stations()
         self.manager.start()
+
+    # ----------------------------------------------------------------- seeds
+
+    def seed_for(self, *path: object) -> int:
+        """Child seed for one component, derived from ``config.seed``.
+
+        Use a stable label path (e.g. ``seed_for("mobility", client.name)``)
+        so the same component gets the same seed on every replay while
+        distinct components get independent streams.
+        """
+        return derive_seed(self.config.seed, *path)
 
     # ----------------------------------------------------------------- build
 
@@ -167,6 +191,19 @@ class GNFTestbed:
         """Associate clients with their best cells and start periodic scanning."""
         self.handover.start()
         return self
+
+    def stop(self) -> None:
+        """Stop every periodic activity owned by the testbed.
+
+        After this call the only events left on the simulator queue are
+        one-shot ones (in-flight packets, boots, migrations), so running the
+        simulator to exhaustion terminates -- which is what scenario teardown
+        relies on to assert a clean drain.
+        """
+        self.handover.stop()
+        self.manager.scheduler.stop()
+        for agent in self.agents.values():
+            agent.stop()
 
     def run(self, duration_s: float) -> float:
         """Advance the simulation by ``duration_s`` seconds."""

@@ -254,6 +254,8 @@ class EdgeTopology:
         self.stations: Dict[str, EdgeStation] = {}
         self.servers: Dict[str, Server] = {}
         self.links: List[Link] = []
+        #: station name -> its uplink to the gateway (fault-injection handle).
+        self.uplink_links: Dict[str, Link] = {}
         self._build_core()
         for index in range(self.config.station_count):
             self.add_station(f"station-{index + 1}")
@@ -317,6 +319,7 @@ class EdgeTopology:
         )
         link.attach(station_uplink_iface, gw_iface)
         self.links.append(link)
+        self.uplink_links[name] = link
         self.stations[name] = station
         return station
 

@@ -146,6 +146,7 @@ class CBRTrafficGenerator(_GeneratorBase):
         rate_pps: float = 100.0,
         payload_bytes: int = 500,
         dst_port: int = 9000,
+        src_port: Optional[int] = None,
         duration_s: Optional[float] = None,
         name: str = "",
     ) -> None:
@@ -156,6 +157,9 @@ class CBRTrafficGenerator(_GeneratorBase):
         self.rate_pps = rate_pps
         self.payload_bytes = payload_bytes
         self.dst_port = dst_port
+        # An explicit source port makes the probe flow's 5-tuple independent
+        # of the process-global generator counter (scenario replay needs it).
+        self.src_port = src_port if src_port is not None else 40_000 + (self.generator_id % 1000)
         self.duration_s = duration_s
         self._started_at: Optional[float] = None
         self._sequence = 0
@@ -182,7 +186,7 @@ class CBRTrafficGenerator(_GeneratorBase):
         packet = pkt.make_udp_packet(
             src_ip=self.client.ip,
             dst_ip=self.server_ip,
-            src_port=40_000 + (self.generator_id % 1000),
+            src_port=self.src_port,
             dst_port=self.dst_port,
             payload_bytes=self.payload_bytes,
             src_mac=self.client.mac,
@@ -204,7 +208,7 @@ class HTTPWorkloadGenerator(_GeneratorBase):
         sites: Sequence[str] = ("example.com", "news.example.org", "video.example.net"),
         mean_think_time_s: float = 2.0,
         paths: Sequence[str] = ("/", "/index.html", "/article", "/media/clip"),
-        seed: int = 7,
+        seed: Optional[int] = None,
         name: str = "",
     ) -> None:
         super().__init__(simulator, client, name=name)
@@ -212,7 +216,9 @@ class HTTPWorkloadGenerator(_GeneratorBase):
         self.sites = list(sites)
         self.paths = list(paths)
         self.mean_think_time_s = mean_think_time_s
-        self._rng = random.Random(seed)
+        # ``None`` keeps the historical fixed seed; scenario runs thread a
+        # per-workload seed derived from the master seed instead.
+        self._rng = random.Random(7 if seed is None else seed)
         self.pages_fetched = 0
         self.pages_blocked = 0
         self.bytes_downloaded = 0
@@ -270,14 +276,14 @@ class DNSWorkloadGenerator(_GeneratorBase):
         resolver_ip: str,
         names: Sequence[str] = ("cdn.example.com", "api.example.com"),
         query_interval_s: float = 1.0,
-        seed: int = 11,
+        seed: Optional[int] = None,
         name: str = "",
     ) -> None:
         super().__init__(simulator, client, name=name)
         self.resolver_ip = resolver_ip
         self.names = list(names)
         self.query_interval_s = query_interval_s
-        self._rng = random.Random(seed)
+        self._rng = random.Random(11 if seed is None else seed)
         self._query_id = 0
         self.answers: Dict[str, List[str]] = {}
 

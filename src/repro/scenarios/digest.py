@@ -1,0 +1,81 @@
+"""Reproducibility digests over a scenario run's telemetry.
+
+A :class:`MetricsDigest` reduces everything a run observed -- event counts,
+switch/fast-path counters, handover and migration traces, per-workload
+latency samples, notification tallies -- to one SHA-256 plus one hash per
+section.  Two runs of the same spec with the same seed must produce the same
+digest; any nondeterminism (a global ``random`` call, dict-order dependence,
+wall-clock leakage) changes at least one section hash, and
+:meth:`MetricsDigest.diff` names the sections that moved so the culprit is
+easy to localise.
+
+The canonical encoding sorts every mapping and renders floats with ``%.12g``
+so the digest is stable across processes while remaining sensitive to any
+behavioural change.  Values derived from process-global counters (assignment
+ids, container names...) must never be fed in: they differ between two runs
+in the same process even when behaviour is identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+def canonicalize(value: Any) -> Any:
+    """Make a telemetry tree deterministic and JSON-serialisable."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return format(value, ".12g")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return value
+    if isinstance(value, dict):
+        return {str(key): canonicalize(value[key]) for key in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    raise TypeError(f"cannot canonicalize {type(value).__name__} value {value!r} for digesting")
+
+
+def _sha256(payload: Any) -> str:
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+@dataclass(frozen=True)
+class MetricsDigest:
+    """The reproducibility fingerprint of one scenario run."""
+
+    hexdigest: str
+    components: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def compute(cls, sections: Dict[str, Any]) -> "MetricsDigest":
+        """Digest a ``{section_name: telemetry_tree}`` mapping."""
+        canonical = {name: canonicalize(tree) for name, tree in sections.items()}
+        components = {name: _sha256(tree) for name, tree in canonical.items()}
+        overall = _sha256({name: components[name] for name in sorted(components)})
+        return cls(hexdigest=overall, components=components)
+
+    def diff(self, other: "MetricsDigest") -> List[str]:
+        """Names of the sections whose hashes differ (for loud test failures)."""
+        names = sorted(set(self.components) | set(other.components))
+        return [
+            name
+            for name in names
+            if self.components.get(name) != other.components.get(name)
+        ]
+
+    @property
+    def short(self) -> str:
+        return self.hexdigest[:12]
+
+    def __str__(self) -> str:
+        return self.hexdigest
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"MetricsDigest({self.short}..., {len(self.components)} sections)"

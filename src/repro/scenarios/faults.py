@@ -1,0 +1,221 @@
+"""Chaos-style fault injection against a running testbed.
+
+The :class:`FaultInjector` turns declarative :class:`~repro.scenarios.spec.FaultSpec`
+entries into concrete actions on a :class:`~repro.core.testbed.GNFTestbed`:
+
+* ``station-crash`` -- the station's cells stop beaconing (clients roam away
+  on their next scan, which is what triggers NF migration), its uplink goes
+  down, every running container is killed and the agent falls silent (the
+  Manager's health monitor marks it offline).  Recovery restores all four.
+* ``link-degrade`` -- the station's uplink loses packets and/or drops to a
+  fraction of its bandwidth.
+* ``link-down`` -- the uplink is administratively down.
+* ``container-oom`` -- one running NF container on the station is OOM-killed
+  (chosen by the injector's seeded RNG).
+
+Every applied fault is recorded in :attr:`FaultInjector.applied` (fed into
+the run's :class:`~repro.scenarios.digest.MetricsDigest`) and surfaced as a
+``critical`` provider notification so operators see it in the UI/telemetry.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.notifications import ProviderNotification
+from repro.scenarios.spec import FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.testbed import GNFTestbed
+
+
+class FaultInjector:
+    """Schedules and applies a scenario's fault plan."""
+
+    def __init__(self, testbed: "GNFTestbed", rng: Optional[random.Random] = None) -> None:
+        self.testbed = testbed
+        self.simulator = testbed.simulator
+        self._rng = rng or random.Random(0)
+        #: Chronological log of everything that was actually done.
+        self.applied: List[Dict[str, object]] = []
+        # Saved uplink parameters for in-flight degradations, keyed by station.
+        self._degraded: Dict[str, Dict[str, float]] = {}
+        # Outstanding inject/recover events, cancellable at teardown.
+        self._events: List[object] = []
+        # Overlapping faults on one station are reference-counted so the
+        # recovery of one never undoes another that is still active: the
+        # uplink stays down while any crash/link-down holds it, the station
+        # stays crashed while any crash holds it, and degradation persists
+        # until the last degrade recovers.
+        self._uplink_holds: Dict[str, int] = {}
+        self._crash_holds: Dict[str, int] = {}
+        self._degrade_holds: Dict[str, int] = {}
+
+    # ------------------------------------------------------------ scheduling
+
+    def schedule(self, fault: FaultSpec) -> None:
+        """Schedule one fault (and its recovery) at its spec'd times."""
+        fault.validate()
+        station = fault.station_name()
+        if station not in self.testbed.topology.stations:
+            raise KeyError(f"fault targets unknown station {station!r}")
+        self._events.append(self.simulator.schedule(fault.at_s, self._apply, fault, station))
+        if fault.duration_s is not None and fault.kind != "container-oom":
+            self._events.append(
+                self.simulator.schedule(fault.at_s + fault.duration_s, self._recover, fault, station)
+            )
+
+    def schedule_all(self, faults: List[FaultSpec]) -> None:
+        for fault in faults:
+            self.schedule(fault)
+
+    def cancel_pending(self) -> int:
+        """Cancel faults (and recoveries) that have not fired yet.
+
+        Called at scenario teardown: a recovery firing after the testbed was
+        stopped would restart the agent's periodic tasks and the queue would
+        never drain.  Returns the number of events cancelled.
+        """
+        cancelled = 0
+        for event in self._events:
+            if event.pending:
+                event.cancel()
+                cancelled += 1
+        self._events.clear()
+        return cancelled
+
+    # -------------------------------------------------------------- applying
+
+    def _apply(self, fault: FaultSpec, station: str) -> None:
+        detail: Dict[str, object] = {}
+        if fault.kind == "station-crash":
+            detail = self._crash_station(station)
+        elif fault.kind == "link-degrade":
+            detail = self._degrade_link(station, fault.params)
+        elif fault.kind == "link-down":
+            self._hold_uplink(station)
+        elif fault.kind == "container-oom":
+            detail = self._oom_kill(station)
+        self._log("inject", fault, station, detail)
+
+    def _recover(self, fault: FaultSpec, station: str) -> None:
+        if fault.kind == "station-crash":
+            self._restore_station(station)
+        elif fault.kind == "link-degrade":
+            self._restore_link(station)
+        elif fault.kind == "link-down":
+            self._release_uplink(station)
+        self._log("recover", fault, station, {})
+
+    # -------------------------------------------------- overlap refcounting
+
+    def _hold_uplink(self, station: str) -> None:
+        holds = self._uplink_holds.get(station, 0)
+        self._uplink_holds[station] = holds + 1
+        if holds == 0:
+            self.testbed.topology.uplink_links[station].set_up(False)
+
+    def _release_uplink(self, station: str) -> None:
+        holds = self._uplink_holds.get(station, 0) - 1
+        self._uplink_holds[station] = max(0, holds)
+        if holds == 0:
+            self.testbed.topology.uplink_links[station].set_up(True)
+
+    # ------------------------------------------------------------ primitives
+
+    def _cells_of(self, station: str):
+        return [cell for cell in self.testbed.cells.values() if cell.station_name == station]
+
+    def _crash_station(self, station: str) -> Dict[str, object]:
+        agent = self.testbed.agents[station]
+        crash_holds = self._crash_holds.get(station, 0)
+        self._crash_holds[station] = crash_holds + 1
+        self._hold_uplink(station)
+        killed = 0
+        if crash_holds == 0:
+            for cell in self._cells_of(station):
+                cell.set_enabled(False)
+            for container in list(agent.runtime.running_containers()):
+                agent.runtime.fail(container, "station-crash")
+                killed += 1
+            agent.stop()
+        return {"containers_killed": killed}
+
+    def _restore_station(self, station: str) -> None:
+        crash_holds = self._crash_holds.get(station, 0) - 1
+        self._crash_holds[station] = max(0, crash_holds)
+        self._release_uplink(station)
+        if crash_holds == 0:
+            agent = self.testbed.agents[station]
+            for cell in self._cells_of(station):
+                cell.set_enabled(True)
+            agent.start()
+
+    def _degrade_link(self, station: str, params: Dict[str, object]) -> Dict[str, object]:
+        link = self.testbed.topology.uplink_links[station]
+        self._degrade_holds[station] = self._degrade_holds.get(station, 0) + 1
+        if station not in self._degraded:
+            self._degraded[station] = {
+                "bandwidth_bps": link.bandwidth_bps,
+                "loss_rate": link.loss_rate,
+            }
+        factor = float(params.get("bandwidth_factor", 0.1))
+        loss = float(params.get("loss_rate", 0.05))
+        link.bandwidth_bps = max(1.0, self._degraded[station]["bandwidth_bps"] * factor)
+        link.loss_rate = min(0.99, max(0.0, loss))
+        return {"bandwidth_factor": factor, "loss_rate": loss}
+
+    def _restore_link(self, station: str) -> None:
+        holds = self._degrade_holds.get(station, 0) - 1
+        self._degrade_holds[station] = max(0, holds)
+        if holds > 0:
+            return
+        saved = self._degraded.pop(station, None)
+        if saved is None:
+            return
+        link = self.testbed.topology.uplink_links[station]
+        link.bandwidth_bps = saved["bandwidth_bps"]
+        link.loss_rate = saved["loss_rate"]
+
+    def _oom_kill(self, station: str) -> Dict[str, object]:
+        agent = self.testbed.agents[station]
+        running = sorted(agent.runtime.running_containers(), key=lambda c: c.name)
+        # Only NF containers carry an assignment label; never kill nothing loudly.
+        candidates = [c for c in running if "assignment" in c.labels] or running
+        if not candidates:
+            return {"containers_killed": 0}
+        victim = self._rng.choice(candidates)
+        agent.runtime.fail(victim, "oom-kill")
+        return {"containers_killed": 1, "nf_type": victim.labels.get("nf_type", "")}
+
+    # -------------------------------------------------------------- logging
+
+    def _log(self, phase: str, fault: FaultSpec, station: str, detail: Dict[str, object]) -> None:
+        entry: Dict[str, object] = {
+            "phase": phase,
+            "kind": fault.kind,
+            "station": station,
+            "time": self.simulator.now,
+        }
+        entry.update(detail)
+        self.applied.append(entry)
+        self.testbed.manager.notifications.publish(
+            ProviderNotification(
+                received_at=self.simulator.now,
+                raised_at=self.simulator.now,
+                station_name=station,
+                nf_name="fault-injector",
+                severity="critical" if phase == "inject" else "info",
+                message=f"{fault.kind} {phase} at {station}",
+                details=dict(detail),
+            )
+        )
+
+    def summary(self) -> Dict[str, float]:
+        injected = [entry for entry in self.applied if entry["phase"] == "inject"]
+        counts: Dict[str, float] = {"faults_injected": float(len(injected))}
+        for entry in injected:
+            key = f"faults_{entry['kind']}"
+            counts[key] = counts.get(key, 0.0) + 1.0
+        return counts

@@ -1,0 +1,491 @@
+"""The canned scenario library.
+
+Each canned scenario is a *builder*: a function taking the master ``seed``
+and returning a fully validated :class:`~repro.scenarios.spec.ScenarioSpec`.
+Builders draw any structural randomness (fleet speeds, fault times...) from
+RNGs derived from that seed, so ``build_scenario(name, seed)`` is itself
+deterministic and the whole run replays byte-for-byte.
+
+Register new scenarios with the :func:`register_scenario` decorator::
+
+    @register_scenario("my-scenario")
+    def _my_scenario(seed: int) -> ScenarioSpec:
+        return ScenarioSpec(name="my-scenario", seed=seed, ...)
+
+and they become available to ``scenario_names()`` / ``run_scenario()`` /
+``examples/run_scenario.py`` and the CI smoke matrix automatically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.core.seeds import derive_seed
+from repro.scenarios.runner import ScenarioResult, ScenarioRunner
+from repro.scenarios.spec import (
+    ChainAssignmentSpec,
+    ClientFleetSpec,
+    FaultSpec,
+    MobilitySpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+ScenarioBuilder = Callable[[int], ScenarioSpec]
+
+_REGISTRY: Dict[str, ScenarioBuilder] = {}
+
+
+def register_scenario(name: str) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+    """Register the decorated builder under ``name`` in the scenario registry."""
+
+    def decorator(builder: ScenarioBuilder) -> ScenarioBuilder:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = builder
+        return builder
+
+    return decorator
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def build_scenario(name: str, seed: int = 0) -> ScenarioSpec:
+    """Build (and validate) a canned scenario's spec for ``seed``."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown scenario {name!r}; available: {scenario_names()}") from exc
+    return builder(seed).validate()
+
+
+def run_scenario(name: str, seed: int = 0) -> ScenarioResult:
+    """Build and run a canned scenario in one call."""
+    return ScenarioRunner(build_scenario(name, seed)).run()
+
+
+def _builder_rng(seed: int, name: str) -> random.Random:
+    """RNG for a builder's structural choices, derived from the master seed."""
+    return random.Random(derive_seed(seed, "builder", name))
+
+
+# ---------------------------------------------------------------------------
+# The canned scenarios
+# ---------------------------------------------------------------------------
+
+
+@register_scenario("fig2-roaming")
+def _fig2_roaming(seed: int) -> ScenarioSpec:
+    """The paper's Fig. 2 demo: one smartphone walks to the other network."""
+    return ScenarioSpec(
+        name="fig2-roaming",
+        description=(
+            "A smartphone browsing the web behind a firewall + HTTP filter + "
+            "DNS load balancer walks from station-1's cell to station-2's; "
+            "its NFs migrate with it and keep enforcing policy."
+        ),
+        seed=seed,
+        duration_s=75.0,
+        topology=TopologySpec(station_count=2, station_spacing_m=80.0, migration_strategy="cold"),
+        fleets=[
+            ClientFleetSpec(
+                name="smartphone",
+                count=1,
+                position=(0.0, 0.0),
+                mobility=MobilitySpec(
+                    model="linear",
+                    start_s=19.0,
+                    params={"velocity_mps": (8.0, 0.0), "destination": (80.0, 0.0)},
+                ),
+                workloads=[
+                    WorkloadSpec(
+                        kind="http",
+                        start_s=9.0,
+                        params={
+                            "sites": ["blocked.example.com", "news.example.org"],
+                            "mean_think_time_s": 0.5,
+                        },
+                    ),
+                    WorkloadSpec(
+                        kind="dns",
+                        start_s=9.0,
+                        params={"names": ["cdn.example.com"], "query_interval_s": 1.0},
+                    ),
+                ],
+            )
+        ],
+        assignments=[
+            ChainAssignmentSpec(
+                fleet="smartphone",
+                nfs=[
+                    "firewall",
+                    {"nf_type": "http-filter", "config": {"blocked_hosts": ["blocked.example.com"]}},
+                    {
+                        "nf_type": "dns-loadbalancer",
+                        "config": {"pools": {"cdn.example.com": ["198.18.0.1", "198.18.0.2"]}},
+                    },
+                ],
+                attach_at_s=1.0,
+            )
+        ],
+    )
+
+
+@register_scenario("commuter-rush")
+def _commuter_rush(seed: int) -> ScenarioSpec:
+    """Roaming storm: four commuters shuttle between the two networks."""
+    rng = _builder_rng(seed, "commuter-rush")
+    fleets = []
+    assignments = []
+    for index in range(4):
+        name = f"commuter{index + 1}"
+        speed = rng.uniform(6.0, 10.0)
+        dwell = rng.uniform(4.0, 8.0)
+        start = rng.uniform(2.0, 6.0)
+        fleets.append(
+            ClientFleetSpec(
+                name=name,
+                count=1,
+                position=(0.0, float(index) * 2.0),
+                mobility=MobilitySpec(
+                    model="commuter",
+                    start_s=start,
+                    params={
+                        "anchor_a": (0.0, float(index) * 2.0),
+                        "anchor_b": (80.0, float(index) * 2.0),
+                        "speed_mps": speed,
+                        "dwell_s": dwell,
+                    },
+                ),
+                workloads=[
+                    WorkloadSpec(kind="http", start_s=2.0, params={"mean_think_time_s": 1.0}),
+                    WorkloadSpec(kind="dns", start_s=2.5, params={"query_interval_s": 2.0}),
+                ],
+            )
+        )
+        assignments.append(
+            ChainAssignmentSpec(fleet=name, nfs=["firewall"], attach_at_s=1.0 + 0.2 * index)
+        )
+    return ScenarioSpec(
+        name="commuter-rush",
+        description=(
+            "Four commuters shuttle between the two wireless networks with "
+            "web+DNS traffic and a firewall each: a sustained storm of "
+            "handovers and cold migrations."
+        ),
+        seed=seed,
+        duration_s=90.0,
+        topology=TopologySpec(
+            station_count=2,
+            station_spacing_m=80.0,
+            migration_strategy="cold",
+            handover_scan_jitter_s=0.05,
+        ),
+        fleets=fleets,
+        assignments=assignments,
+    )
+
+
+@register_scenario("flash-crowd")
+def _flash_crowd(seed: int) -> ScenarioSpec:
+    """Attach burst: eight clients join within seconds and all want NFs."""
+    return ScenarioSpec(
+        name="flash-crowd",
+        description=(
+            "Eight clients appear within ~2.5 s between two stations and all "
+            "attach a firewall at once -- the control-plane and container- "
+            "instantiation burst case."
+        ),
+        seed=seed,
+        duration_s=35.0,
+        topology=TopologySpec(station_count=2, station_spacing_m=80.0, station_profile="server"),
+        fleets=[
+            ClientFleetSpec(
+                name="crowd",
+                count=8,
+                position=(40.0, 0.0),
+                spread_m=30.0,
+                appear_at_s=1.0,
+                appear_stagger_s=0.3,
+                workloads=[
+                    WorkloadSpec(kind="cbr", start_s=6.0, params={"rate_pps": 20.0}),
+                ],
+            )
+        ],
+        assignments=[
+            ChainAssignmentSpec(fleet="crowd", nfs=["firewall"], attach_at_s=2.0),
+        ],
+    )
+
+
+@register_scenario("rolling-failure")
+def _rolling_failure(seed: int) -> ScenarioSpec:
+    """Rolling station crashes; chains follow the displaced clients."""
+    fleets = []
+    assignments = []
+    for index, x in enumerate((0.0, 70.0, 140.0)):
+        name = f"user{index + 1}"
+        fleets.append(
+            ClientFleetSpec(
+                name=name,
+                count=1,
+                position=(x, 0.0),
+                workloads=[WorkloadSpec(kind="cbr", start_s=4.0, params={"rate_pps": 25.0})],
+            )
+        )
+        assignments.append(
+            ChainAssignmentSpec(
+                fleet=name, nfs=["firewall", "flow-monitor"], attach_at_s=1.5 + 0.3 * index
+            )
+        )
+    return ScenarioSpec(
+        name="rolling-failure",
+        description=(
+            "Three stations, one pinned user each, all chained.  Station-1 "
+            "then station-2 crash and recover in sequence; displaced clients "
+            "roam to the neighbouring cell and their chains migrate live."
+        ),
+        seed=seed,
+        duration_s=90.0,
+        topology=TopologySpec(station_count=3, station_spacing_m=70.0, migration_strategy="cold"),
+        fleets=fleets,
+        assignments=assignments,
+        faults=[
+            FaultSpec(kind="station-crash", station=1, at_s=15.0, duration_s=30.0),
+            FaultSpec(kind="station-crash", station=2, at_s=55.0, duration_s=25.0),
+        ],
+    )
+
+
+@register_scenario("video-cell")
+def _video_cell(seed: int) -> ScenarioSpec:
+    """A video-heavy cell: segment bursts through rate-limiter + cache chains."""
+    return ScenarioSpec(
+        name="video-cell",
+        description=(
+            "Three viewers stream segment bursts in one cell behind "
+            "rate-limiter + cache chains -- the sustained-throughput and "
+            "queueing case."
+        ),
+        seed=seed,
+        duration_s=40.0,
+        topology=TopologySpec(station_count=1),
+        fleets=[
+            ClientFleetSpec(
+                name="viewer",
+                count=3,
+                position=(0.0, 0.0),
+                spread_m=10.0,
+                workloads=[
+                    WorkloadSpec(
+                        kind="video",
+                        start_s=3.0,
+                        params={
+                            "segment_interval_s": 1.0,
+                            "packets_per_segment": 15,
+                            "payload_bytes": 1200,
+                        },
+                    ),
+                ],
+            )
+        ],
+        assignments=[
+            ChainAssignmentSpec(
+                fleet="viewer",
+                nfs=[
+                    {"nf_type": "rate-limiter", "config": {"rate_bps": 8e6}},
+                    "cache",
+                ],
+                attach_at_s=1.0,
+            ),
+        ],
+    )
+
+
+@register_scenario("firewall-churn")
+def _firewall_churn(seed: int) -> ScenarioSpec:
+    """Attach/detach churn: the same fleet gains and loses its firewall."""
+    return ScenarioSpec(
+        name="firewall-churn",
+        description=(
+            "Three clients repeatedly attach and detach firewalls while "
+            "browsing -- exercises deployment teardown, flow-rule removal "
+            "and fast-path invalidation under churn."
+        ),
+        seed=seed,
+        duration_s=60.0,
+        topology=TopologySpec(station_count=2),
+        fleets=[
+            ClientFleetSpec(
+                name="churner",
+                count=3,
+                position=(10.0, 0.0),
+                spread_m=8.0,
+                workloads=[
+                    WorkloadSpec(kind="http", start_s=2.0, params={"mean_think_time_s": 0.8}),
+                ],
+            )
+        ],
+        assignments=[
+            ChainAssignmentSpec(fleet="churner", nfs=["firewall"], attach_at_s=2.0, detach_at_s=18.0),
+            ChainAssignmentSpec(fleet="churner", nfs=["firewall"], attach_at_s=25.0, detach_at_s=40.0),
+            ChainAssignmentSpec(fleet="churner", nfs=["firewall"], attach_at_s=47.0),
+        ],
+    )
+
+
+@register_scenario("scheduler-day-cycle")
+def _scheduler_day_cycle(seed: int) -> ScenarioSpec:
+    """Compressed days: daytime and (wrapping) night-time NF windows."""
+    day = 40.0
+    return ScenarioSpec(
+        name="scheduler-day-cycle",
+        description=(
+            "A 40 s compressed day, repeated three times: a daytime firewall "
+            "window (10-25) and a night-time HTTP filter whose window wraps "
+            "the day boundary (35 -> 8)."
+        ),
+        seed=seed,
+        duration_s=120.0,
+        topology=TopologySpec(station_count=1),
+        fleets=[
+            ClientFleetSpec(
+                name="worker",
+                count=2,
+                position=(5.0, 0.0),
+                spread_m=5.0,
+                workloads=[
+                    WorkloadSpec(kind="http", start_s=1.0, params={"mean_think_time_s": 1.5}),
+                ],
+            )
+        ],
+        assignments=[
+            ChainAssignmentSpec(
+                fleet="worker",
+                nfs=["firewall"],
+                attach_at_s=1.0,
+                daily_window=(10.0, 25.0),
+                day_length_s=day,
+            ),
+            ChainAssignmentSpec(
+                fleet="worker",
+                nfs=[{"nf_type": "http-filter", "config": {"blocked_hosts": ["blocked.example.com"]}}],
+                attach_at_s=1.5,
+                daily_window=(35.0, 8.0),  # wraps the day boundary
+                day_length_s=day,
+            ),
+        ],
+    )
+
+
+@register_scenario("mixed-chain-density")
+def _mixed_chain_density(seed: int) -> ScenarioSpec:
+    """Many heterogeneous chains packed onto two server-class stations."""
+    fleet_chains = [
+        ("natfw", ["nat", "firewall"]),
+        ("sec", ["ids", {"nf_type": "rate-limiter", "config": {"rate_bps": 10e6}}]),
+        ("web", ["cache", "http-filter", "flow-monitor"]),
+    ]
+    fleets = []
+    assignments = []
+    for index, (name, nfs) in enumerate(fleet_chains):
+        fleets.append(
+            ClientFleetSpec(
+                name=name,
+                count=2,
+                position=(20.0 + 20.0 * index, 0.0),
+                spread_m=15.0,
+                workloads=[
+                    WorkloadSpec(kind="cbr", start_s=4.0, params={"rate_pps": 10.0}),
+                    WorkloadSpec(kind="http", start_s=5.0, params={"mean_think_time_s": 2.0}),
+                ],
+            )
+        )
+        assignments.append(
+            ChainAssignmentSpec(fleet=name, nfs=list(nfs), attach_at_s=1.0 + 0.4 * index)
+        )
+    return ScenarioSpec(
+        name="mixed-chain-density",
+        description=(
+            "Six clients with heterogeneous 2-3 NF chains (NAT, IDS, cache, "
+            "filters) packed onto two server-class stations -- the NF-density "
+            "and chain-diversity case."
+        ),
+        seed=seed,
+        duration_s=35.0,
+        topology=TopologySpec(
+            station_count=2, station_spacing_m=80.0, station_profile="server"
+        ),
+        fleets=fleets,
+        assignments=assignments,
+    )
+
+
+@register_scenario("chaos-soak")
+def _chaos_soak(seed: int) -> ScenarioSpec:
+    """Soak test: roaming fleet plus a randomized fault barrage."""
+    rng = _builder_rng(seed, "chaos-soak")
+    fault_kinds = ["link-degrade", "container-oom", "link-down", "station-crash"]
+    faults: List[FaultSpec] = []
+    time_s = 10.0
+    while time_s < 95.0:
+        kind = rng.choice(fault_kinds)
+        station = rng.randint(1, 3)
+        duration: Optional[float] = None
+        params: Dict[str, object] = {}
+        if kind in ("link-degrade", "link-down", "station-crash"):
+            duration = rng.uniform(6.0, 14.0)
+        if kind == "link-degrade":
+            params = {
+                "bandwidth_factor": rng.uniform(0.05, 0.5),
+                "loss_rate": rng.uniform(0.01, 0.15),
+            }
+        faults.append(
+            FaultSpec(kind=kind, station=station, at_s=round(time_s, 3), duration_s=duration, params=params)
+        )
+        time_s += rng.uniform(8.0, 14.0)
+    return ScenarioSpec(
+        name="chaos-soak",
+        description=(
+            "Four random-waypoint roamers with chains and mixed traffic "
+            "while crashes, OOM-kills, link loss and outages hit random "
+            "stations for ~100 s -- the everything-at-once soak."
+        ),
+        seed=seed,
+        duration_s=110.0,
+        topology=TopologySpec(
+            station_count=3,
+            station_spacing_m=70.0,
+            migration_strategy="cold",
+            handover_scan_jitter_s=0.05,
+        ),
+        fleets=[
+            ClientFleetSpec(
+                name="roamer",
+                count=4,
+                position=(70.0, 0.0),
+                spread_m=50.0,
+                mobility=MobilitySpec(
+                    model="waypoint",
+                    start_s=2.0,
+                    params={
+                        "area": (0.0, -30.0, 140.0, 30.0),
+                        "speed_mps": (2.0, 8.0),
+                        "pause_s": (0.0, 4.0),
+                    },
+                ),
+                workloads=[
+                    WorkloadSpec(kind="http", start_s=3.0, params={"mean_think_time_s": 1.2}),
+                    WorkloadSpec(kind="cbr", start_s=4.0, params={"rate_pps": 10.0}),
+                ],
+            )
+        ],
+        assignments=[
+            ChainAssignmentSpec(fleet="roamer", nfs=["firewall"], attach_at_s=2.0),
+        ],
+        faults=faults,
+    )

@@ -1,0 +1,481 @@
+"""Compile a :class:`ScenarioSpec` into a live, fully seeded testbed run.
+
+The :class:`ScenarioRunner` is the only place where declarative specs meet
+live objects.  It builds a :class:`~repro.core.testbed.GNFTestbed` from the
+spec's topology, spawns the client fleets (creation, mobility, workloads and
+chain attach/detach are all *scheduled*, so staggered appearances and churn
+are first-class), wires the fault plan through a
+:class:`~repro.scenarios.faults.FaultInjector`, and threads **one** master
+seed through every random decision:
+
+* per-client mobility RNGs     -- ``seed_for("mobility", client)``
+* per-workload generator RNGs  -- ``seed_for("workload", client, index)``
+* handover scan jitter         -- ``seed_for("handover", "scan-jitter")``
+* fault victim selection       -- ``seed_for("faults")``
+* fleet position scatter       -- ``seed_for("fleet", fleet, index)``
+
+Because nothing else draws randomness, two runs of the same spec with the
+same seed replay identically, which :class:`~repro.scenarios.digest.MetricsDigest`
+turns into an assertable fact.
+
+Phased use (benchmarks that measure mid-run)::
+
+    run = ScenarioRunner(spec).start()
+    run.advance(10.0)            # ... inspect run.testbed / run.generators ...
+    result = run.finalize()      # digest + teardown + drain
+
+One-shot use::
+
+    result = ScenarioRunner(spec).run()
+    assert result.drained and result.digest == expected
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.chain import NFSpec, ServiceChain
+from repro.core.errors import UnknownClientError
+from repro.core.manager import Assignment, AssignmentState
+from repro.core.scheduler import TimeSchedule
+from repro.core.testbed import GNFTestbed, TestbedConfig
+from repro.netem.topology import StationProfile
+from repro.netem.trafficgen import (
+    CBRTrafficGenerator,
+    DNSWorkloadGenerator,
+    HTTPWorkloadGenerator,
+    VideoWorkloadGenerator,
+)
+from repro.scenarios.digest import MetricsDigest
+from repro.scenarios.faults import FaultInjector
+from repro.scenarios.spec import ClientFleetSpec, MobilitySpec, ScenarioSpec, WorkloadSpec
+from repro.wireless.mobility import (
+    CommuterMobility,
+    LinearMobility,
+    MobilityModel,
+    RandomWaypointMobility,
+    StaticMobility,
+    TraceMobility,
+)
+
+#: Attach requests arriving before the Manager learnt the client's location
+#: are retried on this period, up to the attempt cap (then logged as failed).
+_ATTACH_RETRY_S = 0.5
+_ATTACH_MAX_ATTEMPTS = 30
+
+#: Hard ceiling on post-teardown drain work: a correctly stopped scenario
+#: needs a tiny fraction of this, so hitting the cap means some component
+#: kept rescheduling itself -- exactly what the drain check must catch.
+_DRAIN_MAX_EVENTS = 500_000
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a finished scenario run reports back."""
+
+    spec: ScenarioSpec
+    seed: int
+    digest: MetricsDigest
+    testbed: GNFTestbed
+    duration_s: float
+    events_processed: int
+    #: True when the post-teardown drain emptied the event queue.
+    drained: bool
+    pending_events_after_teardown: int
+    workload_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    handovers: int = 0
+    migrations_started: int = 0
+    migrations_completed: int = 0
+    faults_injected: int = 0
+    attach_failures: List[str] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, object]:
+        """Compact run report (printed by the scenario CLI)."""
+        return {
+            "scenario": self.spec.name,
+            "seed": self.seed,
+            "digest": self.digest.hexdigest,
+            "duration_s": self.duration_s,
+            "events_processed": self.events_processed,
+            "handovers": self.handovers,
+            "migrations_completed": self.migrations_completed,
+            "faults_injected": self.faults_injected,
+            "drained": self.drained,
+        }
+
+
+class ScenarioRun:
+    """A live, started scenario (returned by :meth:`ScenarioRunner.start`)."""
+
+    def __init__(self, spec: ScenarioSpec, seed: Optional[int] = None) -> None:
+        self.spec = spec.validate()
+        self.seed = spec.seed if seed is None else seed
+        topo = spec.topology
+        profile = (
+            StationProfile.server_class()
+            if topo.station_profile == "server"
+            else StationProfile.router_class()
+        )
+        self.testbed = GNFTestbed(
+            TestbedConfig(
+                seed=self.seed,
+                station_count=topo.station_count,
+                cells_per_station=topo.cells_per_station,
+                station_profile=profile,
+                station_spacing_m=topo.station_spacing_m,
+                uplink_bandwidth_bps=topo.uplink_bandwidth_bps,
+                server_count=topo.server_count,
+                dns_zone={name: list(ips) for name, ips in topo.dns_zone.items()},
+                migration_strategy=topo.migration_strategy,
+                heartbeat_interval_s=topo.heartbeat_interval_s,
+                scan_interval_s=topo.scan_interval_s,
+                handover_scan_jitter_s=topo.handover_scan_jitter_s,
+                fastpath_enabled=topo.fastpath_enabled,
+            )
+        )
+        self.simulator = self.testbed.simulator
+        self.faults = FaultInjector(
+            self.testbed, rng=random.Random(self.testbed.seed_for("faults"))
+        )
+        self.generators: Dict[str, object] = {}
+        self.mobilities: Dict[str, MobilityModel] = {}
+        self.assignments: List[Tuple[str, Assignment]] = []
+        self.attach_failures: List[str] = []
+        self._advanced_s = 0.0
+        self._finalized: Optional[ScenarioResult] = None
+        # Orchestration events (spawns, workload starts, attaches, detaches)
+        # still pending at finalize are cancelled, so an early finalize can
+        # never have future scenario activity fire into the drain.
+        self._control_events: List[object] = []
+        self._build()
+        self.testbed.start()
+
+    # ------------------------------------------------------------------ build
+
+    def _control(self, delay_s: float, callback, *args) -> None:
+        """Schedule an orchestration step, cancellable at finalize."""
+        self._control_events.append(self.simulator.schedule(delay_s, callback, *args))
+
+    def _build(self) -> None:
+        client_index = 0
+        for fleet in self.spec.fleets:
+            for index, client_name in enumerate(fleet.client_names()):
+                appear_at = fleet.appear_at_s + index * fleet.appear_stagger_s
+                position = self._scatter(fleet, index)
+                if appear_at <= 0:
+                    self._spawn_client(fleet, client_name, client_index, position)
+                else:
+                    self._control(
+                        appear_at, self._spawn_client, fleet, client_name, client_index, position
+                    )
+                client_index += 1
+        for order, assignment_spec in enumerate(self.spec.assignments):
+            fleet = self.spec.fleet(assignment_spec.fleet)
+            for client_name in fleet.client_names():
+                self._control(
+                    assignment_spec.attach_at_s, self._attach, assignment_spec, order, client_name, 0
+                )
+        self.faults.schedule_all(self.spec.faults)
+
+    def _scatter(self, fleet: ClientFleetSpec, index: int) -> Tuple[float, float]:
+        base_x, base_y = fleet.position
+        if fleet.spread_m <= 0:
+            return (base_x, base_y)
+        rng = random.Random(self.testbed.seed_for("fleet", fleet.name, index))
+        radius = fleet.spread_m * math.sqrt(rng.random())
+        angle = rng.uniform(0.0, 2 * math.pi)
+        return (base_x + radius * math.cos(angle), base_y + radius * math.sin(angle))
+
+    def _spawn_client(
+        self,
+        fleet: ClientFleetSpec,
+        client_name: str,
+        client_index: int,
+        position: Tuple[float, float],
+    ) -> None:
+        client = self.testbed.add_client(client_name, position=position)
+        now = self.simulator.now
+        mobility = self._make_mobility(fleet.mobility, client, client_name)
+        if mobility is not None:
+            self.mobilities[client_name] = mobility
+            start_delay = max(0.0, fleet.mobility.start_s - now)
+            self._control(start_delay, mobility.start)
+        for workload_index, workload in enumerate(fleet.workloads):
+            start_delay = max(0.0, workload.start_s - now)
+            self._control(
+                start_delay, self._start_workload, workload, client_name, client_index, workload_index
+            )
+
+    def _make_mobility(
+        self, spec: MobilitySpec, client, client_name: str
+    ) -> Optional[MobilityModel]:
+        params = dict(spec.params)
+        if spec.model == "static":
+            # A static client needs no ticking model at all.
+            return None
+        if spec.model == "linear":
+            return LinearMobility(self.simulator, client, **params)
+        if spec.model == "waypoint":
+            params.setdefault("seed", self.testbed.seed_for("mobility", client_name))
+            return RandomWaypointMobility(self.simulator, client, **params)
+        if spec.model == "commuter":
+            return CommuterMobility(self.simulator, client, **params)
+        if spec.model == "trace":
+            return TraceMobility(self.simulator, client, **params)
+        raise ValueError(f"unknown mobility model {spec.model!r}")
+
+    def _start_workload(
+        self, workload: WorkloadSpec, client_name: str, client_index: int, workload_index: int
+    ) -> None:
+        client = self.testbed.clients[client_name]
+        name = f"{client_name}/{workload.kind}{workload_index}"
+        params = dict(workload.params)
+        if workload.kind == "cbr":
+            params.setdefault("server_ip", self.testbed.server_ip)
+            params.setdefault("src_port", 40_000 + client_index * 8 + workload_index)
+            generator = CBRTrafficGenerator(self.simulator, client, name=name, **params)
+        elif workload.kind == "http":
+            params.setdefault("server_ip", self.testbed.server_ip)
+            params.setdefault("seed", self.testbed.seed_for("workload", client_name, workload_index))
+            generator = HTTPWorkloadGenerator(self.simulator, client, name=name, **params)
+        elif workload.kind == "dns":
+            params.setdefault("resolver_ip", self.testbed.server_ip)
+            params.setdefault("seed", self.testbed.seed_for("workload", client_name, workload_index))
+            generator = DNSWorkloadGenerator(self.simulator, client, name=name, **params)
+        elif workload.kind == "video":
+            params.setdefault("server_ip", self.testbed.server_ip)
+            generator = VideoWorkloadGenerator(self.simulator, client, name=name, **params)
+        else:
+            raise ValueError(f"unknown workload kind {workload.kind!r}")
+        self.generators[name] = generator
+        generator.start()
+        if workload.stop_s is not None:
+            self._control(max(0.0, workload.stop_s - self.simulator.now), generator.stop)
+
+    # ----------------------------------------------------------- attach/detach
+
+    def _attach(self, assignment_spec, order: int, client_name: str, attempt: int) -> None:
+        client = self.testbed.clients.get(client_name)
+        if client is None or not client.is_connected:
+            self._retry_attach(assignment_spec, order, client_name, attempt)
+            return
+        chain = ServiceChain(
+            [NFSpec(nf_type, config=config) for nf_type, config in assignment_spec.nf_specs()],
+            name=f"{self.spec.name}/{assignment_spec.fleet}",
+        )
+        schedule = None
+        if assignment_spec.daily_window is not None:
+            start, end = assignment_spec.daily_window
+            schedule = TimeSchedule.daily(start, end, day_length_s=assignment_spec.day_length_s)
+        try:
+            assignment = self.testbed.manager.attach_chain(client.ip, chain, schedule=schedule)
+        except UnknownClientError:
+            # Associated, but the (dis)connect event is still in flight on the
+            # control channel: fall back to the station the client sees.
+            station = client.current_station_name
+            if station is None:
+                self._retry_attach(assignment_spec, order, client_name, attempt)
+                return
+            assignment = self.testbed.manager.attach_chain(
+                client.ip, chain, schedule=schedule, station_name=station
+            )
+        self.assignments.append((client_name, assignment))
+        if assignment_spec.detach_at_s is not None:
+            delay = max(0.0, assignment_spec.detach_at_s - self.simulator.now)
+            self._control(delay, self._detach, assignment)
+
+    def _retry_attach(self, assignment_spec, order: int, client_name: str, attempt: int) -> None:
+        if attempt + 1 >= _ATTACH_MAX_ATTEMPTS:
+            self.attach_failures.append(f"{client_name}/assignment{order}")
+            return
+        self._control(
+            _ATTACH_RETRY_S, self._attach, assignment_spec, order, client_name, attempt + 1
+        )
+
+    def _detach(self, assignment: Assignment) -> None:
+        if assignment.state in (AssignmentState.REMOVED, AssignmentState.FAILED):
+            return
+        self.testbed.manager.detach(assignment.assignment_id)
+
+    # ---------------------------------------------------------------- running
+
+    def advance(self, duration_s: float) -> "ScenarioRun":
+        """Advance the scenario clock (callable repeatedly for phased runs)."""
+        if self._finalized is not None:
+            raise RuntimeError("scenario run already finalized")
+        self.testbed.run(duration_s)
+        self._advanced_s += duration_s
+        return self
+
+    def finalize(self) -> ScenarioResult:
+        """Digest the telemetry, tear everything down and drain the queue."""
+        if self._finalized is not None:
+            return self._finalized
+        digest = MetricsDigest.compute(self.telemetry_sections())
+        workload_stats = {
+            name: generator.stats() for name, generator in sorted(self.generators.items())
+        }
+        # Teardown: stop every periodic source, then run the queue dry.  A
+        # correctly behaved scenario always drains; leftovers mean some
+        # component kept rescheduling itself after stop() -- surfaced via
+        # ``drained`` / ``pending_events_after_teardown`` and asserted on by
+        # the property tests.
+        for event in self._control_events:
+            if event.pending:
+                event.cancel()
+        self._control_events.clear()
+        for generator in self.generators.values():
+            generator.stop()
+        for mobility in self.mobilities.values():
+            mobility.stop()
+        self.faults.cancel_pending()
+        self.testbed.stop()
+        self.simulator.run(max_events=_DRAIN_MAX_EVENTS)
+        pending = self.simulator.pending_events
+        roaming = self.testbed.roaming
+        self._finalized = ScenarioResult(
+            spec=self.spec,
+            seed=self.seed,
+            digest=digest,
+            testbed=self.testbed,
+            duration_s=self._advanced_s,
+            events_processed=self.simulator.events_processed,
+            drained=pending == 0,
+            pending_events_after_teardown=pending,
+            workload_stats=workload_stats,
+            handovers=len(self.testbed.handover.events),
+            migrations_started=len(roaming.records),
+            migrations_completed=len(roaming.completed_migrations()),
+            faults_injected=int(self.faults.summary().get("faults_injected", 0.0)),
+            attach_failures=list(self.attach_failures),
+        )
+        return self._finalized
+
+    # -------------------------------------------------------------- telemetry
+
+    def telemetry_sections(self) -> Dict[str, object]:
+        """The telemetry tree fed into :class:`MetricsDigest`.
+
+        Only values that are deterministic *per run* may appear here.  In
+        particular nothing derived from process-global counters (assignment
+        ids, container/chain names) is included -- those differ between two
+        back-to-back runs in the same process even when behaviour is
+        identical.
+        """
+        testbed = self.testbed
+        stations: Dict[str, object] = {}
+        for station_name, agent in testbed.agents.items():
+            runtime = agent.runtime
+            stations[station_name] = {
+                "switch": testbed.topology.stations[station_name].switch.summary(),
+                "fastpath": testbed.topology.stations[station_name].switch.flow_cache.stats(),
+                "containers_started": runtime.containers_started,
+                "containers_failed": runtime.containers_failed,
+                "pulls_performed": runtime.pulls_performed,
+                "containers_running": runtime.running_count,
+                "deployments_completed": agent.deployments_completed,
+                "deployments_failed": agent.deployments_failed,
+                "heartbeats_sent": agent.heartbeats_sent,
+                "connected_clients": sorted(agent.connected_clients.values()),
+            }
+        gateway = testbed.topology.gateway
+        manager = testbed.manager
+        assignment_states: Dict[str, int] = {}
+        total_migrations = 0
+        for _, assignment in self.assignments:
+            state = assignment.state.value
+            assignment_states[state] = assignment_states.get(state, 0) + 1
+            total_migrations += assignment.migrations
+        workloads = {}
+        for name, generator in self.generators.items():
+            workloads[name] = {
+                "stats": generator.stats(),
+                "rtt_samples": list(generator.rtts),
+            }
+        return {
+            "simulator": {
+                "now": self.simulator.now,
+                "events_processed": self.simulator.events_processed,
+            },
+            "stations": stations,
+            "gateway": {
+                "packets_routed_upstream": gateway.packets_routed_upstream,
+                "packets_routed_downstream": gateway.packets_routed_downstream,
+                "packets_dropped": gateway.packets_dropped,
+                "location_updates": gateway.location_updates,
+            },
+            "clients": {name: client.stats() for name, client in testbed.clients.items()},
+            "workloads": workloads,
+            "handover": {
+                "summary": testbed.handover.summary(),
+                "events": [
+                    {
+                        "time": event.time,
+                        "client": event.client_name,
+                        "old_cell": event.old_cell,
+                        "new_cell": event.new_cell,
+                        "completed_at": event.completed_at,
+                    }
+                    for event in testbed.handover.events
+                ],
+            },
+            "roaming": {
+                "summary": testbed.roaming.summary(),
+                "records": [
+                    {
+                        "client": record.client_ip,
+                        "nf_types": list(record.nf_types),
+                        "from": record.from_station,
+                        "to": record.to_station,
+                        "strategy": record.strategy,
+                        "started_at": record.started_at,
+                        "completed_at": record.completed_at,
+                        "coverage_gap_s": record.coverage_gap_s,
+                        "state_transferred_mb": record.state_transferred_mb,
+                        "success": record.success,
+                    }
+                    for record in testbed.roaming.records
+                ],
+            },
+            "manager": {
+                "heartbeats_processed": manager.heartbeats_processed,
+                "client_events_processed": manager.client_events_processed,
+                "assignment_states": assignment_states,
+                "assignment_migrations": total_migrations,
+                "scheduler_transitions": manager.scheduler.transitions,
+                "notifications": manager.notifications.summary(),
+            },
+            "faults": {
+                "summary": self.faults.summary(),
+                "log": self.faults.applied,
+            },
+            "attach_failures": sorted(self.attach_failures),
+        }
+
+
+class ScenarioRunner:
+    """Runs declarative scenarios (one-shot or phased)."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec.validate()
+
+    def start(self, seed: Optional[int] = None) -> ScenarioRun:
+        """Build and start a live run (use for phased/mid-run observation).
+
+        ``seed`` overrides the *runtime* master seed only: mobility, workload,
+        jitter and fault-victim RNGs are re-derived from it, while the spec's
+        structure (fleet speeds, fault plans drawn by canned builders from
+        ``spec.seed``) is kept fixed -- useful for sensitivity analysis on an
+        identical scenario shape.  To reseed the structure too, rebuild via
+        ``build_scenario(name, seed)``.
+        """
+        return ScenarioRun(self.spec, seed=seed)
+
+    def run(self, seed: Optional[int] = None) -> ScenarioResult:
+        """Run the whole scenario; ``seed`` overrides runtime RNGs (see start)."""
+        run = self.start(seed=seed)
+        run.advance(self.spec.duration_s)
+        return run.finalize()

@@ -1,0 +1,359 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a plain-data description of one end-to-end GNF
+run: the topology to build, the client fleets to populate it with (each with
+a mobility model and a workload mix), the NF chains to attach on a time
+schedule, and the faults to inject.  Specs contain no live objects and no
+callables, so they can be validated, serialised (``to_dict``) and replayed
+byte-for-byte by :class:`~repro.scenarios.runner.ScenarioRunner`.
+
+All times are in simulated seconds relative to scenario start (t=0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+MOBILITY_MODELS = ("static", "linear", "waypoint", "commuter", "trace")
+WORKLOAD_KINDS = ("cbr", "http", "dns", "video")
+FAULT_KINDS = ("station-crash", "link-degrade", "link-down", "container-oom")
+STATION_PROFILES = ("router", "server")
+MIGRATION_STRATEGIES = ("cold", "stateful", "precopy")
+
+
+class ScenarioSpecError(ValueError):
+    """A scenario spec failed validation."""
+
+
+def _as_dict(value: Any) -> Any:
+    """Recursively convert a spec tree into plain JSON-able data."""
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    if isinstance(value, dict):
+        return {str(key): _as_dict(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_as_dict(item) for item in value]
+    return value
+
+
+@dataclass
+class MobilitySpec:
+    """How a fleet's clients move.
+
+    ``model`` selects the class from :mod:`repro.wireless.mobility`;
+    ``params`` holds that model's constructor keywords (``area``,
+    ``speed_mps``, ``velocity_mps``, ``anchor_a`` ...).  Random models derive
+    their RNG seed from the scenario's master seed automatically; an explicit
+    ``seed`` in ``params`` overrides it.  ``start_s`` delays the first
+    movement tick.
+    """
+
+    model: str = "static"
+    start_s: float = 0.0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.model not in MOBILITY_MODELS:
+            raise ScenarioSpecError(f"unknown mobility model {self.model!r}; valid: {MOBILITY_MODELS}")
+        if self.start_s < 0:
+            raise ScenarioSpecError(f"mobility start_s must be >= 0, got {self.start_s}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"model": self.model, "start_s": self.start_s, "params": _as_dict(self.params)}
+
+
+@dataclass
+class WorkloadSpec:
+    """One traffic generator attached to every client of a fleet.
+
+    ``kind`` selects the generator from :mod:`repro.netem.trafficgen`
+    (``cbr``/``http``/``dns``/``video``); ``params`` holds its constructor
+    keywords (``rate_pps``, ``mean_think_time_s``, ``names`` ...).  The
+    generator starts at ``start_s`` and, when ``stop_s`` is set, stops there.
+    Seeded generators derive per-client seeds from the master seed.
+    """
+
+    kind: str = "cbr"
+    start_s: float = 0.0
+    stop_s: Optional[float] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ScenarioSpecError(f"unknown workload kind {self.kind!r}; valid: {WORKLOAD_KINDS}")
+        if self.start_s < 0:
+            raise ScenarioSpecError(f"workload start_s must be >= 0, got {self.start_s}")
+        if self.stop_s is not None and self.stop_s <= self.start_s:
+            raise ScenarioSpecError(f"workload stop_s ({self.stop_s}) must be after start_s ({self.start_s})")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "start_s": self.start_s, "stop_s": self.stop_s, "params": _as_dict(self.params)}
+
+
+@dataclass
+class ClientFleetSpec:
+    """A homogeneous group of mobile clients.
+
+    Clients are named ``<name>-1 .. <name>-count`` and placed at
+    ``position`` plus a per-client uniform scatter of up to ``spread_m``
+    metres (drawn from the scenario seed).  ``appear_at_s`` delays when the
+    first client joins the network and ``appear_stagger_s`` spaces the rest
+    (the flash-crowd knob).
+    """
+
+    name: str
+    count: int = 1
+    position: Tuple[float, float] = (0.0, 0.0)
+    spread_m: float = 0.0
+    appear_at_s: float = 0.0
+    appear_stagger_s: float = 0.0
+    mobility: MobilitySpec = field(default_factory=MobilitySpec)
+    workloads: List[WorkloadSpec] = field(default_factory=list)
+
+    def client_names(self) -> List[str]:
+        return [f"{self.name}-{index + 1}" for index in range(self.count)]
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ScenarioSpecError("fleet name must be non-empty")
+        if self.count < 1:
+            raise ScenarioSpecError(f"fleet {self.name!r}: count must be >= 1, got {self.count}")
+        if self.spread_m < 0 or self.appear_at_s < 0 or self.appear_stagger_s < 0:
+            raise ScenarioSpecError(f"fleet {self.name!r}: spread/appear values must be >= 0")
+        self.mobility.validate()
+        for workload in self.workloads:
+            workload.validate()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "position": list(self.position),
+            "spread_m": self.spread_m,
+            "appear_at_s": self.appear_at_s,
+            "appear_stagger_s": self.appear_stagger_s,
+            "mobility": self.mobility.to_dict(),
+            "workloads": [workload.to_dict() for workload in self.workloads],
+        }
+
+
+NFEntry = Union[str, Dict[str, Any]]
+
+
+@dataclass
+class ChainAssignmentSpec:
+    """Attach an NF chain to every client of a fleet.
+
+    ``nfs`` lists the chain positions first-to-last; each entry is either a
+    bare NF type name or ``{"nf_type": ..., "config": {...}}``.  The chain is
+    attached at ``attach_at_s`` and, when ``detach_at_s`` is set, detached
+    there (the churn knob).  ``daily_window`` (with ``day_length_s``) makes
+    the assignment a recurring time-of-day schedule; a window whose start is
+    after its end wraps the day boundary.
+    """
+
+    fleet: str
+    nfs: List[NFEntry] = field(default_factory=list)
+    attach_at_s: float = 1.0
+    detach_at_s: Optional[float] = None
+    daily_window: Optional[Tuple[float, float]] = None
+    day_length_s: float = 86_400.0
+
+    def nf_specs(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """Normalise ``nfs`` into (nf_type, config) pairs."""
+        pairs: List[Tuple[str, Dict[str, Any]]] = []
+        for entry in self.nfs:
+            if isinstance(entry, str):
+                pairs.append((entry, {}))
+            else:
+                pairs.append((str(entry["nf_type"]), dict(entry.get("config", {}))))
+        return pairs
+
+    def validate(self) -> None:
+        if not self.fleet:
+            raise ScenarioSpecError("assignment fleet must be non-empty")
+        if not self.nfs:
+            raise ScenarioSpecError(f"assignment for fleet {self.fleet!r} needs at least one NF")
+        for nf_type, _ in self.nf_specs():
+            if not nf_type:
+                raise ScenarioSpecError(f"assignment for fleet {self.fleet!r} has an empty NF type")
+        if self.attach_at_s < 0:
+            raise ScenarioSpecError(f"attach_at_s must be >= 0, got {self.attach_at_s}")
+        if self.detach_at_s is not None and self.detach_at_s <= self.attach_at_s:
+            raise ScenarioSpecError(
+                f"detach_at_s ({self.detach_at_s}) must be after attach_at_s ({self.attach_at_s})"
+            )
+        if self.day_length_s <= 0:
+            raise ScenarioSpecError(f"day_length_s must be positive, got {self.day_length_s}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fleet": self.fleet,
+            "nfs": [entry if isinstance(entry, str) else _as_dict(entry) for entry in self.nfs],
+            "attach_at_s": self.attach_at_s,
+            "detach_at_s": self.detach_at_s,
+            "daily_window": list(self.daily_window) if self.daily_window else None,
+            "day_length_s": self.day_length_s,
+        }
+
+
+@dataclass
+class FaultSpec:
+    """One injected fault.
+
+    ``kind`` is one of ``station-crash`` (cells off, uplink down, running
+    containers killed, agent silent), ``link-degrade`` (uplink loss +
+    bandwidth cut; ``params``: ``loss_rate``, ``bandwidth_factor``),
+    ``link-down`` (uplink administratively down) and ``container-oom``
+    (OOM-kill one running NF container on the station).  Faults with a
+    ``duration_s`` recover automatically.
+    """
+
+    kind: str
+    station: Union[str, int] = 1
+    at_s: float = 0.0
+    duration_s: Optional[float] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def station_name(self) -> str:
+        if isinstance(self.station, int):
+            return f"station-{self.station}"
+        return self.station
+
+    def validate(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ScenarioSpecError(f"unknown fault kind {self.kind!r}; valid: {FAULT_KINDS}")
+        if self.at_s < 0:
+            raise ScenarioSpecError(f"fault at_s must be >= 0, got {self.at_s}")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ScenarioSpecError(f"fault duration_s must be positive, got {self.duration_s}")
+        if isinstance(self.station, int) and self.station < 1:
+            raise ScenarioSpecError(f"fault station index must be >= 1, got {self.station}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "station": self.station,
+            "at_s": self.at_s,
+            "duration_s": self.duration_s,
+            "params": _as_dict(self.params),
+        }
+
+
+@dataclass
+class TopologySpec:
+    """Deployment shape, mapped onto :class:`repro.core.testbed.TestbedConfig`."""
+
+    station_count: int = 2
+    cells_per_station: int = 1
+    station_spacing_m: float = 80.0
+    server_count: int = 1
+    station_profile: str = "router"
+    migration_strategy: str = "cold"
+    fastpath_enabled: bool = True
+    uplink_bandwidth_bps: float = 100e6
+    heartbeat_interval_s: float = 2.0
+    scan_interval_s: float = 0.5
+    handover_scan_jitter_s: float = 0.0
+    dns_zone: Dict[str, List[str]] = field(
+        default_factory=lambda: {"cdn.example.com": ["203.0.113.10"]}
+    )
+
+    def validate(self) -> None:
+        if self.station_count < 1:
+            raise ScenarioSpecError(f"station_count must be >= 1, got {self.station_count}")
+        if self.cells_per_station < 1:
+            raise ScenarioSpecError(f"cells_per_station must be >= 1, got {self.cells_per_station}")
+        if self.server_count < 1:
+            raise ScenarioSpecError(f"server_count must be >= 1, got {self.server_count}")
+        if self.station_profile not in STATION_PROFILES:
+            raise ScenarioSpecError(
+                f"unknown station profile {self.station_profile!r}; valid: {STATION_PROFILES}"
+            )
+        if self.migration_strategy not in MIGRATION_STRATEGIES:
+            raise ScenarioSpecError(
+                f"unknown migration strategy {self.migration_strategy!r}; valid: {MIGRATION_STRATEGIES}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "station_count": self.station_count,
+            "cells_per_station": self.cells_per_station,
+            "station_spacing_m": self.station_spacing_m,
+            "server_count": self.server_count,
+            "station_profile": self.station_profile,
+            "migration_strategy": self.migration_strategy,
+            "fastpath_enabled": self.fastpath_enabled,
+            "uplink_bandwidth_bps": self.uplink_bandwidth_bps,
+            "heartbeat_interval_s": self.heartbeat_interval_s,
+            "scan_interval_s": self.scan_interval_s,
+            "handover_scan_jitter_s": self.handover_scan_jitter_s,
+            "dns_zone": _as_dict(self.dns_zone),
+        }
+
+
+@dataclass
+class ScenarioSpec:
+    """A complete declarative scenario."""
+
+    name: str
+    description: str = ""
+    seed: int = 0
+    duration_s: float = 60.0
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    fleets: List[ClientFleetSpec] = field(default_factory=list)
+    assignments: List[ChainAssignmentSpec] = field(default_factory=list)
+    faults: List[FaultSpec] = field(default_factory=list)
+
+    def validate(self) -> "ScenarioSpec":
+        if not self.name:
+            raise ScenarioSpecError("scenario name must be non-empty")
+        if self.duration_s <= 0:
+            raise ScenarioSpecError(f"duration_s must be positive, got {self.duration_s}")
+        self.topology.validate()
+        fleet_names = set()
+        for fleet in self.fleets:
+            fleet.validate()
+            if fleet.name in fleet_names:
+                raise ScenarioSpecError(f"duplicate fleet name {fleet.name!r}")
+            fleet_names.add(fleet.name)
+        for assignment in self.assignments:
+            assignment.validate()
+            if assignment.fleet not in fleet_names:
+                raise ScenarioSpecError(
+                    f"assignment references unknown fleet {assignment.fleet!r}; "
+                    f"known fleets: {sorted(fleet_names)}"
+                )
+        for fault in self.faults:
+            fault.validate()
+            if isinstance(fault.station, int) and fault.station > self.topology.station_count:
+                raise ScenarioSpecError(
+                    f"fault targets station {fault.station} but the topology only has "
+                    f"{self.topology.station_count} stations"
+                )
+        return self
+
+    def fleet(self, name: str) -> ClientFleetSpec:
+        for fleet in self.fleets:
+            if fleet.name == name:
+                return fleet
+        raise KeyError(f"unknown fleet {name!r}")
+
+    def client_names(self) -> List[str]:
+        names: List[str] = []
+        for fleet in self.fleets:
+            names.extend(fleet.client_names())
+        return names
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "topology": self.topology.to_dict(),
+            "fleets": [fleet.to_dict() for fleet in self.fleets],
+            "assignments": [assignment.to_dict() for assignment in self.assignments],
+            "faults": [fault.to_dict() for fault in self.faults],
+        }

@@ -46,6 +46,9 @@ class Cell(Host):
         self.radio_environment = radio_environment or RadioEnvironment()
         self.wired_interface = Interface(name=f"{name}-wired", mac=mac)
         self.add_interface(self.wired_interface)
+        #: Radio on/off switch (failure injection: a crashed station's cells
+        #: stop beaconing, so clients roam away on their next scan).
+        self.enabled = True
         self._client_radio_ifaces: Dict[str, Interface] = {}
         self._client_links: Dict[str, Link] = {}
         self._clients: Dict[str, "MobileClient"] = {}
@@ -75,8 +78,14 @@ class Cell(Host):
     def is_associated(self, client_name: str) -> bool:
         return client_name in self._clients
 
+    def set_enabled(self, enabled: bool) -> None:
+        """Turn the radio on or off (off = the cell vanishes from scans)."""
+        self.enabled = enabled
+
     def rssi_to(self, position: Tuple[float, float]) -> float:
         """Signal strength a receiver at ``position`` would see from this cell."""
+        if not self.enabled:
+            return float("-inf")
         return self.radio_environment.rssi_between(self.tx_power_dbm, self.position, position)
 
     def associate(self, client: "MobileClient", mac_allocator: Callable[[], str]) -> None:

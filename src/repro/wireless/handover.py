@@ -10,6 +10,7 @@ the new station.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -55,11 +56,18 @@ class HandoverManager:
         hysteresis_db: float = 4.0,
         sensitivity_dbm: float = -85.0,
         handover_delay_s: float = 0.05,
+        scan_jitter_s: float = 0.0,
+        jitter_rng: Optional[random.Random] = None,
     ) -> None:
+        if scan_jitter_s < 0:
+            raise ValueError(f"scan_jitter_s must be non-negative, got {scan_jitter_s}")
         self.simulator = simulator
         self.topology = topology
         self.radio_environment = radio_environment or RadioEnvironment()
         self.scan_interval_s = scan_interval_s
+        self.scan_jitter_s = scan_jitter_s
+        # Dedicated RNG so jitter draws never perturb any other random stream.
+        self._jitter_rng = jitter_rng or random.Random(0)
         self.hysteresis_db = hysteresis_db
         self.sensitivity_dbm = sensitivity_dbm
         self.handover_delay_s = handover_delay_s
@@ -93,7 +101,10 @@ class HandoverManager:
             if not client.is_connected:
                 self._initial_associate(client)
         if self._scan_task is None:
-            self._scan_task = self.simulator.every(self.scan_interval_s, self.scan)
+            jitter_fn = None
+            if self.scan_jitter_s > 0:
+                jitter_fn = lambda: self._jitter_rng.uniform(-self.scan_jitter_s, self.scan_jitter_s)  # noqa: E731
+            self._scan_task = self.simulator.every(self.scan_interval_s, self.scan, jitter_fn=jitter_fn)
         return self
 
     def stop(self) -> None:

@@ -105,14 +105,16 @@ class RandomWaypointMobility(MobilityModel):
         area: Tuple[float, float, float, float] = (0.0, 0.0, 200.0, 200.0),
         speed_mps: Tuple[float, float] = (0.5, 2.0),
         pause_s: Tuple[float, float] = (0.0, 5.0),
-        seed: int = 3,
+        seed: Optional[int] = None,
         tick_s: float = 0.1,
     ) -> None:
         super().__init__(simulator, client, tick_s)
         self.area = area
         self.speed_range = speed_mps
         self.pause_range = pause_s
-        self._rng = random.Random(seed)
+        # ``None`` keeps the historical fixed seed; scenario runs thread a
+        # per-client seed derived from the master seed instead.
+        self._rng = random.Random(3 if seed is None else seed)
         self._target: Optional[Position] = None
         self._speed = 0.0
         self._pause_remaining = 0.0

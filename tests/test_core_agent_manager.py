@@ -265,6 +265,67 @@ def test_manager_assignments_for_client(connected_testbed):
     assert len(testbed.manager.assignments_for_client(client.ip)) == 2
 
 
+def test_scheduler_disable_racing_inflight_deployment(connected_testbed):
+    """A disable that lands while the chain is still booting must stick.
+
+    The schedule's window is already closed when the deployment completes, so
+    the scheduler's disable arrives while containers are mid-boot.  The agent
+    must record the desired state and never install steering rules for the
+    half-built (or freshly completed) chain.
+    """
+    from repro.core.scheduler import TimeSchedule
+
+    testbed, client = connected_testbed
+    now = testbed.simulator.now
+    # Window closes at +0.2 s -- long before the multi-second container boot
+    # finishes, so the scheduler's disable races the in-flight deployment.
+    assignment = testbed.manager.attach_nf(
+        client.ip, "firewall", schedule=TimeSchedule.between(now + 0.1, now + 0.2)
+    )
+    agent = testbed.agents["station-1"]
+    cookie = f"chain:{assignment.assignment_id}"
+    testbed.run(12.0)
+    assert assignment.state.value == "active"  # containers did deploy...
+    deployment = agent.deployments[assignment.assignment_id]
+    assert deployment.desired_active is False
+    assert deployment.rules_installed is False  # ...but steering stayed off
+    assert agent.station.switch.flow_table.rules(cookie=cookie) == []
+
+
+def test_scheduler_enable_racing_inflight_deployment(connected_testbed):
+    """The mirror race: enable mid-boot must steer once (and only once).
+
+    The window opens while containers are booting; when the deployment
+    completes it must come up steered, without double-installed rules.
+    """
+    from repro.core.scheduler import TimeSchedule
+
+    testbed, client = connected_testbed
+    now = testbed.simulator.now
+    assignment = testbed.manager.attach_nf(
+        client.ip, "firewall", schedule=TimeSchedule.between(now + 1.0, now + 60.0)
+    )
+    agent = testbed.agents["station-1"]
+    cookie = f"chain:{assignment.assignment_id}"
+    # Let the deploy request reach the agent but not finish booting, then
+    # poke both transitions through the agent API the scheduler uses;
+    # neither may install rules on the incomplete chain.
+    testbed.run(0.2)
+    assert assignment.state.value == "deploying"
+    assert agent.set_chain_active(assignment.assignment_id, False)
+    assert agent.set_chain_active(assignment.assignment_id, True)
+    assert agent.station.switch.flow_table.rules(cookie=cookie) == []
+    testbed.run(12.0)
+    assert assignment.state.value == "active"
+    rules = agent.station.switch.flow_table.rules(cookie=cookie)
+    assert rules  # steered after completion
+    deployment = agent.deployments[assignment.assignment_id]
+    assert deployment.rules_installed is True
+    # Toggling now behaves as before the fix.
+    agent.set_chain_active(assignment.assignment_id, False)
+    assert agent.station.switch.flow_table.rules(cookie=cookie) == []
+
+
 def test_scheduled_assignment_enables_and_disables(connected_testbed):
     from repro.core.scheduler import TimeSchedule
 

@@ -132,10 +132,29 @@ def test_schedule_daily_window_wraps():
 def test_schedule_validation():
     with pytest.raises(ScheduleError):
         ScheduleWindow(5.0, 5.0)
+    # A zero-length daily window is meaningless (start > end wraps instead).
     with pytest.raises(ScheduleError):
-        TimeSchedule.daily(30.0, 20.0)
+        TimeSchedule.daily(30.0, 30.0)
+    with pytest.raises(ScheduleError):
+        TimeSchedule.daily(-5.0, 20.0)
+    with pytest.raises(ScheduleError):
+        TimeSchedule.daily(10.0, 200.0, day_length_s=100.0)
     with pytest.raises(ScheduleError):
         TimeSchedule(day_length_s=0)
+
+
+def test_schedule_daily_window_wrapping_day_boundary():
+    # A "22:00 -> 02:00" night window on a compressed 24 s day.
+    schedule = TimeSchedule.daily(22.0, 2.0, day_length_s=24.0)
+    assert schedule.is_active(23.0)       # late evening, day 0
+    assert schedule.is_active(24.0)       # exactly midnight -> day 1 begins
+    assert schedule.is_active(25.0)       # small hours, day 1
+    assert not schedule.is_active(2.0)    # window end is exclusive
+    assert not schedule.is_active(12.0)   # midday
+    assert schedule.is_active(22.0)       # window start is inclusive
+    # The same pattern holds many compressed days in.
+    assert schedule.is_active(10 * 24.0 + 23.5)
+    assert not schedule.is_active(10 * 24.0 + 3.0)
 
 
 def test_scheduler_drives_enable_disable_transitions():

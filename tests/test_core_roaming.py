@@ -229,3 +229,46 @@ def test_no_migration_baseline_loses_coverage():
     assert old_nf.packets_processed == packets_at_handover
     # But the client itself still has connectivity (just no NF coverage).
     assert generator.responses_received > 0
+
+
+def test_migration_respects_closed_schedule_window():
+    """A chain migrating while its schedule window is closed must stay unsteered.
+
+    Regression: the re-deploy at the new station installed steering rules by
+    default, and the scheduler never corrected it (its own record already
+    said "disabled", so it saw no transition to drive).
+    """
+    from repro.core.scheduler import ScheduleWindow, TimeSchedule
+
+    testbed = GNFTestbed(TestbedConfig(station_count=2, migration_strategy="cold"))
+    client = testbed.add_client("phone", position=(0.0, 0.0))
+    testbed.start()
+    testbed.run(1.0)
+    now = testbed.simulator.now
+    # Open long enough to deploy, closed long before the roam, reopening later.
+    assignment = testbed.manager.attach_chain(
+        client.ip,
+        ServiceChain.of("firewall"),
+        schedule=TimeSchedule(
+            windows=[
+                ScheduleWindow(now, now + 10.0),
+                ScheduleWindow(now + 80.0, now + 200.0),
+            ]
+        ),
+    )
+    testbed.run(14.0)  # deployed, then disabled when the window closed
+    agent1 = testbed.agents["station-1"]
+    cookie = f"chain:{assignment.assignment_id}"
+    assert agent1.station.switch.flow_table.rules(cookie=cookie) == []
+
+    LinearMobility(testbed.simulator, client, velocity_mps=(8.0, 0.0), destination=(80.0, 0.0)).start()
+    testbed.run(40.0)  # roam + migrate, still inside the closed period
+    assert assignment.station_name == "station-2"
+    assert assignment.state is AssignmentState.ACTIVE
+    agent2 = testbed.agents["station-2"]
+    # The migrated chain exists but must not steer during the closed window.
+    assert agent2.deployment_for_client(client.ip) is not None
+    assert agent2.station.switch.flow_table.rules(cookie=cookie) == []
+    # When the window reopens, the scheduler enables it at the new station.
+    testbed.run(40.0)
+    assert agent2.station.switch.flow_table.rules(cookie=cookie)
