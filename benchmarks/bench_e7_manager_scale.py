@@ -1,23 +1,71 @@
-"""E7 -- Manager / control-plane scalability.
+"""E7 -- Manager / control-plane scalability, sharded vs single.
 
 Paper claim: the Manager keeps "a connection with all the Agents in the
 network" and "continuously monitor[s] the health and resource utilization
-from the GNF stations".  This experiment scales the number of stations and
-clients and reports heartbeat processing, control-plane traffic, attach
-latency under load and hotspot-detection coverage.
+from the GNF stations".  This experiment has two parts:
+
+1. **Scale sweep** -- full testbeds at increasing station counts (and, when
+   requested, shard counts): heartbeat processing, control-plane traffic,
+   attach latency under load and station liveness.
+2. **Heartbeat throughput comparison** -- the path that walls off the
+   "millions of users" target.  A fixed fleet of Agents fires pre-built
+   heartbeats through the real transport (per-message ControlChannel for
+   the single Manager, coalescing ControlBus for the sharded one) and the
+   wall-clock processing rate is compared sharded vs unsharded.
+
+Both sweeps are CLI-configurable (see ``benchmarks/conftest.py``)::
+
+    pytest benchmarks/bench_e7_manager_scale.py \
+        --e7-stations 4,16,64 --e7-shards 1,4,16 --e7-hb-stations 1024
+
+The comparison asserts the sharded control plane processes heartbeats at
+>= 2x the single-Manager rate at 512 stations (relax with E7_MIN_SPEEDUP
+on noisy shared runners).
 """
 
 from __future__ import annotations
 
+import os
+import time
+
+import pytest
 from _bench_utils import run_once
 
 from repro.analysis.report import ExperimentResult
 from repro.analysis.stats import mean
+from repro.core.agent import GNFAgent
+from repro.core.api import AgentHeartbeat
+from repro.core.manager import GNFManager
+from repro.core.repository import NFRepository
+from repro.core.sharding import ShardedManager
 from repro.core.testbed import GNFTestbed, TestbedConfig
+from repro.netem.simulator import Simulator
+from repro.netem.topology import EdgeTopology, TopologyConfig
 
 
-def _run_scale(station_count: int, clients_per_station: int = 2, sim_duration_s: float = 30.0):
-    testbed = GNFTestbed(TestbedConfig(station_count=station_count, heartbeat_interval_s=2.0))
+def _parse_counts(raw: str) -> list:
+    return [int(part) for part in str(raw).split(",") if part.strip()]
+
+
+@pytest.fixture
+def e7_options(request):
+    return {
+        "stations": _parse_counts(request.config.getoption("--e7-stations")),
+        "clients_per_station": request.config.getoption("--e7-clients-per-station"),
+        "shards": _parse_counts(request.config.getoption("--e7-shards")),
+        "hb_stations": request.config.getoption("--e7-hb-stations"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Part 1: full-testbed scale sweep
+# ---------------------------------------------------------------------------
+
+
+def _run_scale(station_count: int, shard_count: int, clients_per_station: int, sim_duration_s: float = 30.0):
+    testbed = GNFTestbed(
+        TestbedConfig(station_count=station_count, heartbeat_interval_s=2.0, shard_count=shard_count)
+    )
     clients = []
     for index in range(station_count * clients_per_station):
         station_index = index % station_count
@@ -34,6 +82,7 @@ def _run_scale(station_count: int, clients_per_station: int = 2, sim_duration_s:
     attach_latencies = [a.attach_latency_s for a in assignments if a.attach_latency_s is not None]
     return {
         "stations": station_count,
+        "shards": shard_count,
         "clients": len(clients),
         "nfs_active": sum(1 for a in assignments if a.state.value == "active"),
         "heartbeats": manager.heartbeats_processed,
@@ -44,17 +93,100 @@ def _run_scale(station_count: int, clients_per_station: int = 2, sim_duration_s:
     }
 
 
-def _run_experiment():
-    return [_run_scale(count) for count in (2, 4, 8)]
+# ---------------------------------------------------------------------------
+# Part 2: heartbeat-processing throughput, sharded vs single Manager
+# ---------------------------------------------------------------------------
 
 
-def test_e7_manager_scalability(benchmark, record_experiment):
-    rows = run_once(benchmark, _run_experiment)
+def _heartbeat_throughput(station_count: int, shard_count: int, rounds: int = 40):
+    """Wall-clock heartbeats/second through the real control-plane transport.
+
+    Registers one real Agent per station, pre-builds one heartbeat per
+    station (the build cost is identical in both modes and not what sharding
+    changes), then fires ``rounds`` network-wide heartbeat waves through the
+    Agents' wired senders and runs the simulator dry after each wave.
+    """
+    simulator = Simulator()
+    topology = EdgeTopology(simulator, TopologyConfig(station_count=station_count))
+    repository = NFRepository.with_default_catalog()
+    if shard_count > 1:
+        manager = ShardedManager(
+            simulator,
+            shard_count=shard_count,
+            station_count=station_count,
+            repository=repository,
+            topology=topology,
+        )
+    else:
+        manager = GNFManager(simulator, repository=repository, topology=topology)
+    senders = []
+    for station_name, station in topology.stations.items():
+        agent = GNFAgent(simulator, station, repository)
+        manager.register_agent(agent)
+        agent.stop()  # drive heartbeats manually; no periodic tasks in the timing
+        heartbeat = AgentHeartbeat(
+            station_name=station_name,
+            time=0.0,
+            resources=agent.runtime.utilization(),
+            switch={},
+            nf_stats={},
+            connected_clients=[],
+        )
+        senders.append((agent._manager_heartbeat_sink, heartbeat))
+    simulator.run()
+
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for sender, heartbeat in senders:
+            sender(heartbeat)
+        simulator.run()
+    elapsed = time.perf_counter() - started
+    processed = manager.heartbeats_processed
+    assert processed == rounds * station_count
+    return {
+        "stations": station_count,
+        "shards": shard_count,
+        "heartbeats": processed,
+        "wall_s": elapsed,
+        "rate_per_s": processed / elapsed if elapsed > 0 else 0.0,
+        "events": simulator.events_processed,
+        "events_per_heartbeat": simulator.events_processed / processed,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The experiment
+# ---------------------------------------------------------------------------
+
+
+def test_e7_manager_scalability(benchmark, record_experiment, e7_options):
+    shard_counts = e7_options["shards"] or [1]
+
+    def _run_experiment():
+        # Full (stations x shards) sweep; a shard count above the station
+        # count collapses to one shard per station.
+        seen = set()
+        scale_rows = []
+        for count in e7_options["stations"]:
+            for shards in shard_counts:
+                key = (count, min(shards, count))
+                if key in seen:
+                    continue
+                seen.add(key)
+                scale_rows.append(_run_scale(key[0], key[1], e7_options["clients_per_station"]))
+        throughput_rows = [
+            _heartbeat_throughput(e7_options["hb_stations"], min(shards, e7_options["hb_stations"]))
+            for shards in shard_counts
+        ]
+        return scale_rows, throughput_rows
+
+    scale_rows, throughput_rows = run_once(benchmark, _run_experiment)
+
     result = ExperimentResult(
         experiment_id="E7",
         title="Manager scalability: stations, heartbeats, control traffic and attach latency",
         headers=[
-            "stations", "clients", "active NFs", "heartbeats processed",
+            "stations", "shards", "clients", "active NFs", "heartbeats processed",
             "heartbeats/s", "control messages", "mean attach latency (s)", "stations online",
         ],
         paper_claim=(
@@ -62,19 +194,66 @@ def test_e7_manager_scalability(benchmark, record_experiment):
             "health and resource utilization across the network"
         ),
     )
-    for row in rows:
+    for row in scale_rows:
         result.add_row(
-            row["stations"], row["clients"], row["nfs_active"], row["heartbeats"],
+            row["stations"], row["shards"], row["clients"], row["nfs_active"], row["heartbeats"],
             row["heartbeat_rate_per_s"], row["control_messages"],
             row["mean_attach_latency_s"], row["online"],
         )
     record_experiment(result)
 
+    comparison = ExperimentResult(
+        experiment_id="E7b",
+        title=(
+            f"Heartbeat-processing throughput at {e7_options['hb_stations']} stations: "
+            "sharded ControlBus vs single Manager"
+        ),
+        headers=[
+            "stations", "shards", "heartbeats", "wall (s)", "heartbeats/s", "sim events/heartbeat",
+        ],
+        paper_claim=(
+            "Keeping a connection with all Agents must not serialise the control "
+            "plane through one object as the network grows"
+        ),
+    )
+    for row in throughput_rows:
+        comparison.add_row(
+            row["stations"], row["shards"], row["heartbeats"], f"{row['wall_s']:.3f}",
+            f"{row['rate_per_s']:.0f}", f"{row['events_per_heartbeat']:.3f}",
+        )
+    record_experiment(comparison)
+
     # Every deployment succeeded and every agent stayed online at every scale.
-    for row in rows:
+    for row in scale_rows:
         assert row["nfs_active"] == row["clients"]
         assert row["online"] == row["stations"]
     # Control-plane load grows roughly linearly with the number of stations,
     # while attach latency stays flat (no central bottleneck in this regime).
-    assert rows[-1]["heartbeats"] > rows[0]["heartbeats"]
-    assert rows[-1]["mean_attach_latency_s"] < 3 * rows[0]["mean_attach_latency_s"]
+    # Only meaningful when the CLI sweep actually spans multiple sizes.
+    if scale_rows[-1]["stations"] > scale_rows[0]["stations"]:
+        assert scale_rows[-1]["heartbeats"] > scale_rows[0]["heartbeats"]
+        assert scale_rows[-1]["mean_attach_latency_s"] < 3 * scale_rows[0]["mean_attach_latency_s"]
+
+    # The headline criterion: sharding + coalescing processes heartbeats at
+    # >= 2x the single-Manager rate (wall clock; relax on noisy runners).
+    # The baseline is the shards=1 row wherever it appears in --e7-shards;
+    # without one (or without any sharded row) there is nothing to compare.
+    baselines = [row for row in throughput_rows if row["shards"] == 1]
+    sharded_rows = [row for row in throughput_rows if row["shards"] > 1]
+    if baselines and sharded_rows:
+        min_speedup = float(os.environ.get("E7_MIN_SPEEDUP", "2.0"))
+        baseline = baselines[0]
+        best = max(sharded_rows, key=lambda row: row["rate_per_s"])
+        speedup = best["rate_per_s"] / baseline["rate_per_s"]
+        print(
+            f"\nE7b speedup: {speedup:.2f}x "
+            f"({best['shards']} shards {best['rate_per_s']:.0f}/s vs "
+            f"{baseline['shards']} shard(s) {baseline['rate_per_s']:.0f}/s)"
+        )
+        assert speedup >= min_speedup, (
+            f"sharded heartbeat throughput {best['rate_per_s']:.0f}/s is only "
+            f"{speedup:.2f}x the single-Manager {baseline['rate_per_s']:.0f}/s "
+            f"(floor {min_speedup}x)"
+        )
+        # Coalescing is visible in the event ledger, not just the wall clock.
+        assert best["events_per_heartbeat"] < baseline["events_per_heartbeat"]

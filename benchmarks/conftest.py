@@ -19,6 +19,38 @@ sys.path.insert(0, os.path.dirname(__file__))
 from _bench_utils import record_result  # noqa: E402
 
 
+def pytest_addoption(parser):
+    """CLI knobs for the parameterised experiments (benchmark E7/E10)."""
+    group = parser.getgroup("gnf-benchmarks")
+    group.addoption(
+        "--e7-stations",
+        default="2,4,8",
+        help="Comma-separated station counts for the E7 scale sweep (default: 2,4,8)",
+    )
+    group.addoption(
+        "--e7-clients-per-station",
+        type=int,
+        default=2,
+        help="Clients per station in the E7 scale sweep (default: 2)",
+    )
+    group.addoption(
+        "--e7-shards",
+        default="1,8",
+        help="Comma-separated shard counts for the E7 sweeps (default: 1,8)",
+    )
+    group.addoption(
+        "--e7-hb-stations",
+        type=int,
+        default=512,
+        help="Station count for the E7 heartbeat-throughput comparison (default: 512)",
+    )
+    group.addoption(
+        "--e10-shards",
+        default="1,4",
+        help="Comma-separated shard counts for the E10 determinism matrix (default: 1,4)",
+    )
+
+
 @pytest.fixture
 def record_experiment():
     """Return a callable that prints and persists an ExperimentResult."""

@@ -7,10 +7,13 @@ Usage::
     python examples/run_scenario.py commuter-rush
     python examples/run_scenario.py chaos-soak --seed 7
     python examples/run_scenario.py rolling-failure --check-determinism
+    python examples/run_scenario.py commuter-rush --shards 4 --check-determinism
 
 ``--check-determinism`` runs the scenario twice under the same seed and
 exits non-zero if the two telemetry digests differ (the CI smoke matrix
-uses this as its regression gate).
+uses this as its regression gate).  ``--shards`` overrides the
+control-plane shard count; with ``--check-determinism`` the replay runs
+*unsharded*, so the check also proves shard-count invariance.
 """
 
 from __future__ import annotations
@@ -41,6 +44,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("scenario", nargs="?", help="canned scenario name (see --list)")
     parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="control-plane shard count (default: the scenario's own setting)",
+    )
     parser.add_argument("--list", action="store_true", help="list canned scenarios and exit")
     parser.add_argument(
         "--check-determinism",
@@ -56,7 +65,7 @@ def main(argv=None) -> int:
             print(f"  {name:22s} {spec.description}")
         return 0
 
-    result = run_scenario(args.scenario, seed=args.seed)
+    result = run_scenario(args.scenario, seed=args.seed, shard_count=args.shards)
     _print_result(result)
     if not result.drained:
         print(
@@ -65,6 +74,8 @@ def main(argv=None) -> int:
         )
         return 2
     if args.check_determinism:
+        # Replay unsharded: digests must match across both replays *and*
+        # shard counts, so one comparison checks both properties.
         again = run_scenario(args.scenario, seed=args.seed)
         if result.digest != again.digest:
             print(

@@ -12,6 +12,8 @@
   per-client traffic selectors.
 * :mod:`repro.core.placement` -- placement strategies (closest agent,
   load-aware, latency-aware, core).
+* :mod:`repro.core.sharding` -- the sharded control plane (ShardedManager
+  frontend, ControlBus message coalescing, cross-shard handoffs).
 * :mod:`repro.core.scheduler` -- time-scheduled NF activation.
 * :mod:`repro.core.monitoring` / :mod:`repro.core.notifications` -- health,
   hotspots and provider notifications.
@@ -55,6 +57,7 @@ from repro.core.policy import TrafficSelector
 from repro.core.repository import CatalogEntry, NFRepository
 from repro.core.roaming import MigrationRecord, RoamingCoordinator
 from repro.core.scheduler import NFScheduler, ScheduleWindow, TimeSchedule
+from repro.core.sharding import ControlBus, ShardedManager, ShardHandoff, StationShardMap
 from repro.core.testbed import GNFTestbed, TestbedConfig
 from repro.core.ui import GNFDashboard
 
@@ -63,6 +66,10 @@ __all__ = [
     "ChainDeployment",
     "DeployedNF",
     "GNFManager",
+    "ShardedManager",
+    "ControlBus",
+    "StationShardMap",
+    "ShardHandoff",
     "Assignment",
     "AssignmentState",
     "GNFDashboard",

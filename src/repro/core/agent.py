@@ -294,7 +294,14 @@ class GNFAgent:
         event_sink: Callable[[ClientEvent], None],
         notification_sink: Callable[[NFNotificationMessage], None],
     ) -> None:
-        """Attach the control channel and the Manager-side entry points."""
+        """Attach the control channel and the upstream message senders.
+
+        Each sink is a *sender* that owns its own transport: in the default
+        deployment it delivers over ``channel`` as one simulator event per
+        message (``ControlChannel.sender``); under a sharded Manager it is a
+        ControlBus sink that coalesces messages per delivery tick.  The
+        channel itself is kept for the Manager->Agent direction.
+        """
         self.control_channel = channel
         self._manager_heartbeat_sink = heartbeat_sink
         self._manager_event_sink = event_sink
@@ -329,7 +336,7 @@ class GNFAgent:
         self._send_client_event(client, cell, "disconnected")
 
     def _send_client_event(self, client: MobileClient, cell: Cell, event: str) -> None:
-        if self.control_channel is None or self._manager_event_sink is None:
+        if self._manager_event_sink is None:
             return
         message = ClientEvent(
             station_name=self.station.name,
@@ -339,7 +346,7 @@ class GNFAgent:
             event=event,
             time=self.simulator.now,
         )
-        self.control_channel.call(self._manager_event_sink, message)
+        self._manager_event_sink(message)
 
     # ---------------------------------------------------------- deployment
 
@@ -586,7 +593,7 @@ class GNFAgent:
 
     def send_heartbeat(self) -> None:
         """Build and send the periodic station report."""
-        if self.control_channel is None or self._manager_heartbeat_sink is None:
+        if self._manager_heartbeat_sink is None:
             return
         nf_stats: Dict[str, Dict[str, object]] = {}
         for deployment in self.deployments.values():
@@ -601,11 +608,11 @@ class GNFAgent:
             connected_clients=sorted(self.connected_clients),
         )
         self.heartbeats_sent += 1
-        self.control_channel.call(self._manager_heartbeat_sink, heartbeat)
+        self._manager_heartbeat_sink(heartbeat)
 
     def _relay_nf_notification(self, notification: NFNotification) -> None:
         """Immediately forward an NF notification to the Manager."""
-        if self.control_channel is None or self._manager_notification_sink is None:
+        if self._manager_notification_sink is None:
             return
         message = NFNotificationMessage(
             station_name=self.station.name,
@@ -615,7 +622,7 @@ class GNFAgent:
             time=notification.time,
             details=dict(notification.details),
         )
-        self.control_channel.call(self._manager_notification_sink, message)
+        self._manager_notification_sink(message)
 
     # --------------------------------------------------------------- status
 

@@ -126,6 +126,19 @@ class ControlChannel:
         self.bytes_estimate += 512
         self.simulator.schedule(self.latency_s, callback, *args, **kwargs)
 
+    def sender(self, callback: Callable[[Any], None]) -> Callable[[Any], None]:
+        """A one-argument sender delivering each message via :meth:`call`.
+
+        Agents hold senders rather than (channel, callback) pairs so the
+        transport is swappable: the sharded control plane hands out
+        bus-coalescing senders with the same signature.
+        """
+
+        def send(message: Any) -> None:
+            self.call(callback, message)
+
+        return send
+
     def stats(self) -> Dict[str, float]:
         return {
             "latency_s": self.latency_s,

@@ -86,8 +86,54 @@ class Assignment:
 ClientEventListener = Callable[[ClientEvent], None]
 
 
+def track_client_event(owner, event: ClientEvent) -> None:
+    """Client-event bookkeeping and roaming triggers, shared by every
+    Manager flavour.
+
+    ``owner`` is any object with the Manager's client-tracking surface
+    (``client_names``, ``client_locations``, ``assignments_for_client``,
+    ``roaming``, ``_client_event_listeners``): a plain :class:`GNFManager`,
+    one of its shards (where ``roaming`` is None, so only the directory is
+    maintained), or the sharded frontend (which owns the *global* directory
+    and the roaming hook).  Keeping this in one place is what guarantees a
+    sharded run makes exactly the same migration decisions as an unsharded
+    one -- the digest-invariance the E10 matrix asserts.
+    """
+    owner.client_names[event.client_ip] = event.client_name
+    previous_station = owner.client_locations.get(event.client_ip)
+    if event.event == "connected":
+        owner.client_locations[event.client_ip] = event.station_name
+        if owner.roaming is not None:
+            for assignment in owner.assignments_for_client(event.client_ip):
+                if (
+                    assignment.state in (AssignmentState.ACTIVE, AssignmentState.MIGRATING)
+                    and assignment.station_name != event.station_name
+                ):
+                    owner.roaming.handle_client_connected(assignment, event)
+    elif event.event == "disconnected":
+        if previous_station == event.station_name:
+            owner.client_locations.pop(event.client_ip, None)
+        if owner.roaming is not None:
+            for assignment in owner.assignments_for_client(event.client_ip):
+                if assignment.state is AssignmentState.ACTIVE and assignment.station_name == event.station_name:
+                    owner.roaming.handle_client_disconnected(assignment, event)
+    for listener in owner._client_event_listeners:
+        listener(event)
+
+
 class GNFManager:
-    """The central GNF controller."""
+    """The central GNF controller.
+
+    One ``GNFManager`` serves a set of registered stations: it owns the
+    attach/detach API, tracks client locations from Agent-reported events,
+    monitors Agent health and resource hotspots from heartbeats, collects NF
+    notifications and drives time-scheduled activation.  In the default
+    deployment it is *the* Manager and serves every station; in a sharded
+    deployment (:class:`~repro.core.sharding.ShardedManager`) each instance
+    is one region shard restricted to a contiguous band of stations, with
+    the frontend handling global placement, roaming and cross-shard
+    handoffs (:meth:`release_assignment` / :meth:`adopt_assignment`).
+    """
 
     def __init__(
         self,
@@ -122,8 +168,20 @@ class GNFManager:
 
     # --------------------------------------------------------- registration
 
-    def register_agent(self, agent: GNFAgent, control_latency_s: Optional[float] = None) -> ControlChannel:
-        """Connect an Agent to the Manager over a latency-modelled channel."""
+    def register_agent(
+        self,
+        agent: GNFAgent,
+        control_latency_s: Optional[float] = None,
+        sink_factory: Optional[Callable[[ControlChannel], tuple]] = None,
+    ) -> ControlChannel:
+        """Connect an Agent to the Manager over a latency-modelled channel.
+
+        By default the Agent's upstream senders deliver each message over
+        the channel as its own simulator event (``channel.sender``).  A
+        sharded frontend passes ``sink_factory(channel)`` returning custom
+        ``(heartbeat, event, notification)`` senders -- typically bus sinks
+        that coalesce messages per delivery tick.
+        """
         station_name = agent.station.name
         if control_latency_s is None:
             if self.topology is not None and station_name in self.topology.stations:
@@ -133,11 +191,17 @@ class GNFManager:
         channel = ControlChannel(self.simulator, latency_s=control_latency_s, name=f"ctl-{station_name}")
         self.agents[station_name] = agent
         self.channels[station_name] = channel
+        if sink_factory is not None:
+            heartbeat_sink, event_sink, notification_sink = sink_factory(channel)
+        else:
+            heartbeat_sink = channel.sender(self.receive_heartbeat)
+            event_sink = channel.sender(self.receive_client_event)
+            notification_sink = channel.sender(self.receive_notification)
         agent.connect_to_manager(
             channel,
-            heartbeat_sink=self.receive_heartbeat,
-            event_sink=self.receive_client_event,
-            notification_sink=self.receive_notification,
+            heartbeat_sink=heartbeat_sink,
+            event_sink=event_sink,
+            notification_sink=notification_sink,
         )
         self.health.register(station_name, self.simulator.now)
         agent.start()
@@ -286,29 +350,28 @@ class GNFManager:
         self.health.record_heartbeat(heartbeat.station_name, self.simulator.now)
         self.hotspots.observe(heartbeat.station_name, self.simulator.now, heartbeat.resources)
 
+    def receive_heartbeat_batch(self, heartbeats: List[AgentHeartbeat]) -> None:
+        """Process a coalesced burst of heartbeats delivered in one tick.
+
+        Semantically identical to calling :meth:`receive_heartbeat` once per
+        message at the same simulated instant -- this is the ControlBus entry
+        point, kept separate so a batch pays the dispatch overhead once.
+        """
+        self.heartbeats_processed += len(heartbeats)
+        now = self.simulator.now
+        last_heartbeat = self.last_heartbeat
+        record_heartbeat = self.health.record_heartbeat
+        observe = self.hotspots.observe
+        for heartbeat in heartbeats:
+            station_name = heartbeat.station_name
+            last_heartbeat[station_name] = heartbeat
+            record_heartbeat(station_name, now)
+            observe(station_name, now, heartbeat.resources)
+
     def receive_client_event(self, event: ClientEvent) -> None:
         """Process a client (dis)connection reported by an Agent."""
         self.client_events_processed += 1
-        self.client_names[event.client_ip] = event.client_name
-        previous_station = self.client_locations.get(event.client_ip)
-        if event.event == "connected":
-            self.client_locations[event.client_ip] = event.station_name
-            if self.roaming is not None:
-                for assignment in self.assignments_for_client(event.client_ip):
-                    if (
-                        assignment.state in (AssignmentState.ACTIVE, AssignmentState.MIGRATING)
-                        and assignment.station_name != event.station_name
-                    ):
-                        self.roaming.handle_client_connected(assignment, event)
-        elif event.event == "disconnected":
-            if previous_station == event.station_name:
-                self.client_locations.pop(event.client_ip, None)
-            if self.roaming is not None:
-                for assignment in self.assignments_for_client(event.client_ip):
-                    if assignment.state is AssignmentState.ACTIVE and assignment.station_name == event.station_name:
-                        self.roaming.handle_client_disconnected(assignment, event)
-        for listener in self._client_event_listeners:
-            listener(event)
+        track_client_event(self, event)
 
     def receive_notification(self, message: NFNotificationMessage) -> None:
         """Store an NF notification relayed by an Agent."""
@@ -324,8 +387,50 @@ class GNFManager:
             )
         )
 
+    def receive_notification_batch(self, messages: List[NFNotificationMessage]) -> None:
+        """Store a coalesced burst of NF notifications (ControlBus entry point)."""
+        now = self.simulator.now
+        self.notifications.publish_batch(
+            [
+                ProviderNotification(
+                    received_at=now,
+                    raised_at=message.time,
+                    station_name=message.station_name,
+                    nf_name=message.nf_name,
+                    severity=message.severity,
+                    message=message.message,
+                    details=dict(message.details),
+                )
+                for message in messages
+            ]
+        )
+
     def add_client_event_listener(self, listener: ClientEventListener) -> None:
         self._client_event_listeners.append(listener)
+
+    # ----------------------------------------------------- sharding hooks
+
+    def assignment_station_changed(self, assignment: Assignment, old_station: str) -> None:
+        """Hook invoked by the roaming coordinator after a migration moved
+        ``assignment`` to a new home station.
+
+        A single Manager has nothing to do -- all its state is keyed by
+        assignment id, not station.  The sharded frontend overrides this to
+        hand the assignment off between region shards.
+        """
+
+    def release_assignment(self, assignment_id: str) -> bool:
+        """Drop an assignment from this shard's tables for a cross-shard
+        handoff; returns the schedule-active flag the adopting shard must
+        resume from."""
+        self.assignments.pop(assignment_id, None)
+        active = self.scheduler.pop(assignment_id)
+        return True if active is None else active
+
+    def adopt_assignment(self, assignment: Assignment, schedule_active: bool = True) -> None:
+        """Take ownership of an assignment handed off by another shard."""
+        self.assignments[assignment.assignment_id] = assignment
+        self.scheduler.add(assignment.assignment_id, assignment.schedule, currently_active=schedule_active)
 
     # -------------------------------------------------------------- queries
 

@@ -60,6 +60,21 @@ class NotificationCenter:
             subscriber(notification)
         return notification
 
+    def publish_batch(self, notifications: List[ProviderNotification]) -> None:
+        """Publish a coalesced burst (the sharded control bus's entry point).
+
+        A single centre may be shared by every Manager shard -- provider
+        notifications are a network-global stream, so aggregation happens by
+        construction rather than by merging per-shard stores.
+        """
+        self._notifications.extend(notifications)
+        if len(self._notifications) > self.max_notifications:
+            self._notifications = self._notifications[-self.max_notifications :]
+        if self._subscribers:
+            for notification in notifications:
+                for subscriber in self._subscribers:
+                    subscriber(notification)
+
     # -------------------------------------------------------------- queries
 
     def all(self) -> List[ProviderNotification]:

@@ -66,7 +66,7 @@ class RoamingCoordinator:
     def __init__(
         self,
         simulator: Simulator,
-        manager: GNFManager,
+        manager: GNFManager,  # or a duck-typed ShardedManager frontend
         strategy: str = "cold",
         transfer_bandwidth_bps: Optional[float] = None,
         speculative_station_limit: int = 3,
@@ -144,6 +144,10 @@ class RoamingCoordinator:
             assignment.migrations += 1
             assignment.state = AssignmentState.ACTIVE
             assignment.active_at = self.simulator.now
+            # Tell the Manager the assignment's home station moved: a plain
+            # GNFManager ignores this, a sharded frontend hands the
+            # assignment off to the shard owning the new station.
+            self.manager.assignment_station_changed(assignment, old_station)
             # Reconcile with the assignment's time schedule: the re-deploy at
             # the new station steers by default, but if the schedule window is
             # currently closed the chain must come up unsteered (the scheduler

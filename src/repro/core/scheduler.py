@@ -117,6 +117,17 @@ class NFScheduler:
         self._schedules.pop(assignment_id, None)
         self._active.pop(assignment_id, None)
 
+    def pop(self, assignment_id: str) -> Optional[bool]:
+        """Stop tracking an assignment; returns its last known active flag.
+
+        Used by cross-shard handoffs: the adopting shard's scheduler must
+        resume from the same activation state instead of re-deriving it (and
+        counting a spurious transition).  ``None`` means the assignment was
+        not tracked here.
+        """
+        self._schedules.pop(assignment_id, None)
+        return self._active.pop(assignment_id, None)
+
     def tracked(self) -> List[str]:
         return sorted(self._schedules)
 

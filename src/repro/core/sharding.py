@@ -1,0 +1,616 @@
+"""Sharded control plane: many Managers behind one frontend.
+
+The paper's Manager "keeps a connection with all the Agents in the network".
+A single :class:`~repro.core.manager.GNFManager` does exactly that -- which
+also makes it the scalability wall on the road to millions of clients: every
+heartbeat, client (dis)connection and NF notification crosses the control
+plane as its own simulator event and is processed serially by one object.
+
+This module partitions that control plane:
+
+* :class:`StationShardMap` -- consistent station->shard routing.  Stations
+  are split into ``shard_count`` *contiguous bands* by station index
+  (``station-1 .. station-k`` to shard 0, the next band to shard 1, ...), so
+  geographically adjacent stations -- the ones a roaming client moves
+  between most often -- usually share a shard and cross-shard handoffs stay
+  rare.
+* :class:`ControlBus` -- a coalescing agent->Manager transport.  Messages
+  are queued per delivery tick and flushed under **one** simulator event per
+  tick instead of one event per message; heartbeats and NF notifications are
+  additionally grouped per shard inside the tick and handed to the shard's
+  batch entry points (``receive_heartbeat_batch`` /
+  ``receive_notification_batch``).  Delivery *times* are exactly what a
+  per-message :class:`~repro.core.api.ControlChannel` would produce, so a
+  scenario replays to the identical telemetry digest with sharding on or
+  off -- only the event count (an implementation detail) changes.
+* :class:`ShardedManager` -- the frontend.  It owns N region shards (each a
+  plain ``GNFManager`` restricted to its band of stations), routes the
+  attach/detach API by placement result, keeps the *global* client location
+  directory and assignment index, and drives roaming network-wide.  When a
+  migration lands a chain on a station owned by a different shard, the
+  frontend moves the assignment between shards through an explicit
+  :class:`ShardHandoff` message so shard-local state (assignment tables,
+  scheduler tracking) always lives in exactly one place.
+
+``ShardedManager`` is intentionally a drop-in for ``GNFManager``: the UI,
+the roaming coordinator, the fault injector and the scenario telemetry all
+keep working against the aggregate views (``overview``, ``station_views``,
+``health``, ``hotspots``, ``scheduler``, ``control_plane_stats``).
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.agent import GNFAgent
+from repro.core.api import AgentHeartbeat, ClientEvent, ControlChannel, NFNotificationMessage
+from repro.core.chain import ServiceChain
+from repro.core.errors import UnknownAgentError, UnknownAssignmentError, UnknownClientError
+from repro.core.manager import (
+    Assignment,
+    AssignmentState,
+    ClientEventListener,
+    GNFManager,
+    track_client_event,
+)
+from repro.core.notifications import NotificationCenter
+from repro.core.placement import ClosestAgentPlacement, PlacementStrategy, StationView
+from repro.core.policy import TrafficSelector
+from repro.core.repository import NFRepository
+from repro.core.scheduler import TimeSchedule
+from repro.netem.simulator import Simulator
+from repro.netem.topology import EdgeTopology
+
+_STATION_INDEX = re.compile(r"(\d+)$")
+
+
+class StationShardMap:
+    """Consistent station -> shard routing over contiguous index bands.
+
+    With ``station_count`` stations and ``shard_count`` shards, station ``i``
+    (1-based, parsed from the trailing integer of the station name) lands in
+    shard ``(i - 1) * shard_count // station_count`` -- contiguous, balanced
+    bands.  Station names without a trailing index fall back to a stable
+    CRC32 hash, so arbitrary names still route consistently (just without
+    the adjacency guarantee).
+    """
+
+    def __init__(self, station_count: int, shard_count: int) -> None:
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        if station_count < 1:
+            raise ValueError(f"station_count must be >= 1, got {station_count}")
+        self.station_count = station_count
+        self.shard_count = shard_count
+
+    def shard_for(self, station_name: str) -> int:
+        """The shard index owning ``station_name``."""
+        match = _STATION_INDEX.search(station_name)
+        if match is not None:
+            index = int(match.group(1))
+            if 1 <= index <= self.station_count:
+                return (index - 1) * self.shard_count // self.station_count
+        return zlib.crc32(station_name.encode("utf-8")) % self.shard_count
+
+    def band(self, shard_index: int) -> Tuple[int, int]:
+        """The 1-based, inclusive station index range ``shard_index`` owns."""
+        if not 0 <= shard_index < self.shard_count:
+            raise IndexError(f"shard index {shard_index} out of range")
+        lo = next(
+            (i for i in range(1, self.station_count + 1) if (i - 1) * self.shard_count // self.station_count == shard_index),
+            0,
+        )
+        hi = max(
+            (i for i in range(1, self.station_count + 1) if (i - 1) * self.shard_count // self.station_count == shard_index),
+            default=-1,
+        )
+        return (lo, hi)
+
+
+@dataclass
+class ShardHandoff:
+    """One cross-shard assignment migration, as the frontend recorded it.
+
+    Produced when a roaming migration moves a client's chain onto a station
+    owned by a different shard: the source shard releases the assignment
+    (dropping it from its table and scheduler), the target shard adopts it,
+    and this message is the durable record of the transfer.
+    """
+
+    assignment_id: str
+    client_ip: str
+    from_shard: int
+    to_shard: int
+    from_station: str
+    to_station: str
+    time: float
+    #: Whether the assignment's schedule considered it active at handoff
+    #: time -- carried across so the target shard's scheduler resumes from
+    #: the same state instead of re-deriving (and double-counting) the
+    #: transition.
+    schedule_active: bool = True
+
+
+class _PendingTick:
+    """Everything queued on the bus for one delivery instant."""
+
+    __slots__ = ("heartbeats", "notifications", "events")
+
+    def __init__(self, shard_count: int) -> None:
+        # Lazily-created per-shard batches for the order-insensitive kinds.
+        self.heartbeats: List[Optional[List[AgentHeartbeat]]] = [None] * shard_count
+        self.notifications: List[Optional[List[NFNotificationMessage]]] = [None] * shard_count
+        # Client events keep global enqueue order: a disconnect at shard A
+        # and the matching connect at shard B must be observed in the order
+        # they were sent or roaming decisions change.
+        self.events: List[Tuple[int, ClientEvent]] = []
+
+
+class ControlBus:
+    """Coalescing agent -> Manager transport for the sharded control plane.
+
+    Each agent sink enqueues its message under the delivery time a plain
+    :class:`ControlChannel` would have used (``now + latency``) and bumps the
+    station channel's traffic accounting.  The first message for a given
+    delivery time schedules **one** flush event; every later message for the
+    same tick rides along for free.  At flush time heartbeats and NF
+    notifications are delivered per shard through the batch entry points,
+    client events one by one in enqueue order.
+    """
+
+    def __init__(self, simulator: Simulator, shard_count: int) -> None:
+        self.simulator = simulator
+        self.shard_count = shard_count
+        self._pending: Dict[float, _PendingTick] = {}
+        self._deliver_heartbeats: Optional[Callable[[int, List[AgentHeartbeat]], None]] = None
+        self._deliver_notifications: Optional[Callable[[int, List[NFNotificationMessage]], None]] = None
+        self._deliver_event: Optional[Callable[[int, ClientEvent], None]] = None
+        self.messages_enqueued = 0
+        self.flushes = 0
+        self.largest_batch = 0
+
+    def bind(
+        self,
+        heartbeats: Callable[[int, List[AgentHeartbeat]], None],
+        notifications: Callable[[int, List[NFNotificationMessage]], None],
+        event: Callable[[int, ClientEvent], None],
+    ) -> None:
+        """Attach the frontend's delivery callbacks (one-time wiring)."""
+        self._deliver_heartbeats = heartbeats
+        self._deliver_notifications = notifications
+        self._deliver_event = event
+
+    # ----------------------------------------------------------------- sinks
+
+    def _tick_for(self, latency_s: float) -> _PendingTick:
+        deliver_at = self.simulator.now + latency_s
+        tick = self._pending.get(deliver_at)
+        if tick is None:
+            tick = self._pending[deliver_at] = _PendingTick(self.shard_count)
+            self.simulator.schedule(latency_s, self._flush, deliver_at)
+        return tick
+
+    def _sink(
+        self,
+        append: Callable[[_PendingTick, object], None],
+        latency_s: float,
+        channel: Optional[ControlChannel],
+    ) -> Callable[[object], None]:
+        """Build a sender: enqueue into the delivery tick ``append`` selects,
+        with the shared message/traffic accounting applied exactly once."""
+
+        def sink(message: object) -> None:
+            append(self._tick_for(latency_s), message)
+            self.messages_enqueued += 1
+            if channel is not None:
+                channel.messages_delivered += 1
+                channel.bytes_estimate += 512
+
+        return sink
+
+    def _per_shard_append(self, field: str, shard_index: int) -> Callable[[_PendingTick, object], None]:
+        def append(tick: _PendingTick, message: object) -> None:
+            batches = getattr(tick, field)
+            batch = batches[shard_index]
+            if batch is None:
+                batch = batches[shard_index] = []
+            batch.append(message)
+
+        return append
+
+    def heartbeat_sink(
+        self, shard_index: int, latency_s: float, channel: Optional[ControlChannel] = None
+    ) -> Callable[[AgentHeartbeat], None]:
+        """A sender delivering one station's heartbeats through the bus."""
+        return self._sink(self._per_shard_append("heartbeats", shard_index), latency_s, channel)
+
+    def event_sink(
+        self, shard_index: int, latency_s: float, channel: Optional[ControlChannel] = None
+    ) -> Callable[[ClientEvent], None]:
+        """A sender delivering one station's client events through the bus."""
+        return self._sink(
+            lambda tick, event: tick.events.append((shard_index, event)), latency_s, channel
+        )
+
+    def notification_sink(
+        self, shard_index: int, latency_s: float, channel: Optional[ControlChannel] = None
+    ) -> Callable[[NFNotificationMessage], None]:
+        """A sender delivering one station's NF notifications through the bus."""
+        return self._sink(self._per_shard_append("notifications", shard_index), latency_s, channel)
+
+    # ----------------------------------------------------------------- flush
+
+    def _flush(self, deliver_at: float) -> None:
+        tick = self._pending.pop(deliver_at)
+        self.flushes += 1
+        deliver_heartbeats = self._deliver_heartbeats
+        for shard_index, batch in enumerate(tick.heartbeats):
+            if batch:
+                if len(batch) > self.largest_batch:
+                    self.largest_batch = len(batch)
+                deliver_heartbeats(shard_index, batch)
+        deliver_notifications = self._deliver_notifications
+        for shard_index, batch in enumerate(tick.notifications):
+            if batch:
+                deliver_notifications(shard_index, batch)
+        deliver_event = self._deliver_event
+        for shard_index, event in tick.events:
+            deliver_event(shard_index, event)
+
+    def stats(self) -> Dict[str, float]:
+        """Coalescing counters (surfaced by ``ShardedManager.shard_stats``)."""
+        return {
+            "messages_enqueued": float(self.messages_enqueued),
+            "flushes": float(self.flushes),
+            "largest_batch": float(self.largest_batch),
+            "coalescing_ratio": (
+                self.messages_enqueued / self.flushes if self.flushes else 0.0
+            ),
+        }
+
+
+class _ShardedHealth:
+    """Network-wide liveness view over the per-shard health monitors."""
+
+    def __init__(self, shards: List[GNFManager]) -> None:
+        self._shards = shards
+
+    def online_stations(self, now: float) -> List[str]:
+        return sorted(name for shard in self._shards for name in shard.health.online_stations(now))
+
+    def offline_stations(self, now: float) -> List[str]:
+        return sorted(name for shard in self._shards for name in shard.health.offline_stations(now))
+
+    def is_online(self, station_name: str, now: float) -> bool:
+        return any(shard.health.is_online(station_name, now) for shard in self._shards)
+
+    def heartbeats_received(self, station_name: str) -> int:
+        return sum(shard.health.heartbeats_received(station_name) for shard in self._shards)
+
+    def __len__(self) -> int:
+        return sum(len(shard.health) for shard in self._shards)
+
+
+class _ShardedHotspots:
+    """Network-wide hotspot view over the per-shard detectors."""
+
+    def __init__(self, shards: List[GNFManager]) -> None:
+        self._shards = shards
+
+    @property
+    def hotspots(self):
+        found = [hotspot for shard in self._shards for hotspot in shard.hotspots.hotspots]
+        found.sort(key=lambda hotspot: (hotspot.detected_at, hotspot.station_name))
+        return found
+
+    def hotspot_stations(self) -> List[str]:
+        return sorted({name for shard in self._shards for name in shard.hotspots.hotspot_stations()})
+
+    def recent_hotspots(self, since: float):
+        return [hotspot for hotspot in self.hotspots if hotspot.detected_at >= since]
+
+
+class _ShardSchedulerGroup:
+    """Facade over the per-shard NF schedulers (start/stop/aggregate stats)."""
+
+    def __init__(self, shards: List[GNFManager]) -> None:
+        self._shards = shards
+
+    @property
+    def transitions(self) -> int:
+        return sum(shard.scheduler.transitions for shard in self._shards)
+
+    def tracked(self) -> List[str]:
+        return sorted(name for shard in self._shards for name in shard.scheduler.tracked())
+
+    def start(self) -> "_ShardSchedulerGroup":
+        for shard in self._shards:
+            shard.scheduler.start()
+        return self
+
+    def stop(self) -> None:
+        for shard in self._shards:
+            shard.scheduler.stop()
+
+
+class ShardedManager:
+    """A GNF control plane partitioned into N region shards.
+
+    Drop-in for :class:`~repro.core.manager.GNFManager`: the same attach /
+    detach / register / query API, but every station band is served by its
+    own ``GNFManager`` shard and all agent->Manager traffic is coalesced
+    through a :class:`ControlBus`.  The frontend keeps only the truly global
+    state -- the client location directory, the assignment->shard index, the
+    shared notification centre and the roaming hook -- and aggregates
+    everything else on demand.
+
+    With ``shard_count=1`` this still batches control traffic; construct a
+    plain ``GNFManager`` instead if you want the unbatched historical
+    behaviour (that is what ``GNFTestbed(shard_count=1)`` does).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        shard_count: int,
+        station_count: Optional[int] = None,
+        repository: Optional[NFRepository] = None,
+        topology: Optional[EdgeTopology] = None,
+        placement: Optional[PlacementStrategy] = None,
+        heartbeat_timeout_s: float = 10.0,
+    ) -> None:
+        self.simulator = simulator
+        self.repository = repository or NFRepository.with_default_catalog()
+        self.topology = topology
+        self.placement: PlacementStrategy = placement or ClosestAgentPlacement()
+        if station_count is None:
+            station_count = len(topology.stations) if topology is not None else shard_count
+        self.shard_map = StationShardMap(station_count=max(1, station_count), shard_count=shard_count)
+        # One notification centre shared by every shard: notifications are a
+        # provider-global stream (the UI and the fault injector publish and
+        # read it without caring which shard relayed the message).
+        self.notifications = NotificationCenter()
+        self.shards: List[GNFManager] = []
+        for _ in range(shard_count):
+            # Shards get the trivial placement: the frontend already ran the
+            # real (possibly load-aware) strategy over the *global* station
+            # view and routes each attach with an explicit station.
+            shard = GNFManager(
+                simulator,
+                repository=self.repository,
+                topology=topology,
+                placement=ClosestAgentPlacement(),
+                heartbeat_timeout_s=heartbeat_timeout_s,
+            )
+            shard.notifications = self.notifications
+            self.shards.append(shard)
+        self.bus = ControlBus(simulator, shard_count)
+        self.bus.bind(
+            heartbeats=self._deliver_heartbeats,
+            notifications=self._deliver_notifications,
+            event=self._deliver_client_event,
+        )
+        self.agents: Dict[str, GNFAgent] = {}
+        self.channels: Dict[str, ControlChannel] = {}
+        self.assignments: Dict[str, Assignment] = {}
+        self._assignment_shard: Dict[str, int] = {}
+        self.client_locations: Dict[str, str] = {}
+        self.client_names: Dict[str, str] = {}
+        self.roaming = None  # set by RoamingCoordinator, exactly like GNFManager
+        self._client_event_listeners: List[ClientEventListener] = []
+        self.handoffs: List[ShardHandoff] = []
+        self.health = _ShardedHealth(self.shards)
+        self.hotspots = _ShardedHotspots(self.shards)
+        self.scheduler = _ShardSchedulerGroup(self.shards)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def heartbeats_processed(self) -> int:
+        return sum(shard.heartbeats_processed for shard in self.shards)
+
+    @property
+    def client_events_processed(self) -> int:
+        return sum(shard.client_events_processed for shard in self.shards)
+
+    @property
+    def last_heartbeat(self) -> Dict[str, AgentHeartbeat]:
+        merged: Dict[str, AgentHeartbeat] = {}
+        for shard in self.shards:
+            merged.update(shard.last_heartbeat)
+        return merged
+
+    def shard_of(self, station_name: str) -> GNFManager:
+        """The shard instance owning ``station_name``."""
+        return self.shards[self.shard_map.shard_for(station_name)]
+
+    # --------------------------------------------------------- registration
+
+    def register_agent(self, agent: GNFAgent, control_latency_s: Optional[float] = None) -> ControlChannel:
+        """Connect an Agent to its owning shard, with bus-coalesced senders."""
+        station_name = agent.station.name
+        shard_index = self.shard_map.shard_for(station_name)
+        shard = self.shards[shard_index]
+
+        def sink_factory(channel: ControlChannel):
+            latency = channel.latency_s
+            return (
+                self.bus.heartbeat_sink(shard_index, latency, channel),
+                self.bus.event_sink(shard_index, latency, channel),
+                self.bus.notification_sink(shard_index, latency, channel),
+            )
+
+        channel = shard.register_agent(agent, control_latency_s, sink_factory=sink_factory)
+        self.agents[station_name] = agent
+        self.channels[station_name] = channel
+        return channel
+
+    def agent(self, station_name: str) -> GNFAgent:
+        try:
+            return self.agents[station_name]
+        except KeyError as exc:
+            raise UnknownAgentError(station_name) from exc
+
+    def start(self) -> "ShardedManager":
+        """Start every shard's schedule evaluator."""
+        for shard in self.shards:
+            shard.start()
+        return self
+
+    # ------------------------------------------------------------ attach API
+
+    def attach_chain(
+        self,
+        client_ip: str,
+        chain: ServiceChain,
+        selector: Optional[TrafficSelector] = None,
+        schedule: Optional[TimeSchedule] = None,
+        station_name: Optional[str] = None,
+    ) -> Assignment:
+        """Place a chain using the global station view, then route the attach
+        to the shard owning the chosen station."""
+        client_station = station_name or self.client_locations.get(client_ip)
+        if client_station is None:
+            raise UnknownClientError(
+                f"client {client_ip!r} has no known location; pass station_name explicitly"
+            )
+        chosen_station = self.placement.choose(client_station, self.station_views(client_station))
+        shard_index = self.shard_map.shard_for(chosen_station)
+        assignment = self.shards[shard_index].attach_chain(
+            client_ip, chain, selector=selector, schedule=schedule, station_name=chosen_station
+        )
+        self.assignments[assignment.assignment_id] = assignment
+        self._assignment_shard[assignment.assignment_id] = shard_index
+        return assignment
+
+    def attach_nf(
+        self,
+        client_ip: str,
+        nf_type: str,
+        config: Optional[Dict[str, object]] = None,
+        selector: Optional[TrafficSelector] = None,
+        schedule: Optional[TimeSchedule] = None,
+        station_name: Optional[str] = None,
+    ) -> Assignment:
+        """Attach a single NF (convenience wrapper, mirrors GNFManager)."""
+        return self.attach_chain(
+            client_ip,
+            ServiceChain.single(nf_type, config=config),
+            selector=selector,
+            schedule=schedule,
+            station_name=station_name,
+        )
+
+    def detach(self, assignment_id: str) -> Assignment:
+        """Tear down an assignment on whichever shard currently owns it."""
+        shard_index = self._assignment_shard.get(assignment_id)
+        if shard_index is None:
+            raise UnknownAssignmentError(assignment_id)
+        return self.shards[shard_index].detach(assignment_id)
+
+    # ---------------------------------------------------------- bus delivery
+
+    def _deliver_heartbeats(self, shard_index: int, batch: List[AgentHeartbeat]) -> None:
+        self.shards[shard_index].receive_heartbeat_batch(batch)
+
+    def _deliver_notifications(self, shard_index: int, batch: List[NFNotificationMessage]) -> None:
+        self.shards[shard_index].receive_notification_batch(batch)
+
+    def _deliver_client_event(self, shard_index: int, event: ClientEvent) -> None:
+        # Shard-local bookkeeping first (counters, shard client directory;
+        # the shard has no roaming hook), then the same shared tracking a
+        # single Manager runs -- here against the global directory, the
+        # global assignment index and the network-wide roaming coordinator.
+        self.shards[shard_index].receive_client_event(event)
+        track_client_event(self, event)
+
+    def add_client_event_listener(self, listener: ClientEventListener) -> None:
+        self._client_event_listeners.append(listener)
+
+    # -------------------------------------------------------------- handoff
+
+    def assignment_station_changed(self, assignment: Assignment, old_station: str) -> None:
+        """Roaming hook: move the assignment between shards if its new home
+        station is owned by a different one (the explicit handoff)."""
+        assignment_id = assignment.assignment_id
+        source_index = self._assignment_shard.get(assignment_id)
+        if source_index is None:
+            return
+        target_index = self.shard_map.shard_for(assignment.station_name)
+        if target_index == source_index:
+            return
+        schedule_active = self.shards[source_index].release_assignment(assignment_id)
+        self.shards[target_index].adopt_assignment(assignment, schedule_active=schedule_active)
+        self._assignment_shard[assignment_id] = target_index
+        self.handoffs.append(
+            ShardHandoff(
+                assignment_id=assignment_id,
+                client_ip=assignment.client_ip,
+                from_shard=source_index,
+                to_shard=target_index,
+                from_station=old_station,
+                to_station=assignment.station_name,
+                time=self.simulator.now,
+                schedule_active=schedule_active,
+            )
+        )
+
+    # -------------------------------------------------------------- queries
+
+    def assignments_for_client(self, client_ip: str) -> List[Assignment]:
+        return [a for a in self.assignments.values() if a.client_ip == client_ip]
+
+    def station_views(self, client_station: Optional[str] = None) -> List[StationView]:
+        """Placement candidates for **every** station, across all shards."""
+        views: List[StationView] = []
+        for shard in self.shards:
+            views.extend(shard.station_views(client_station))
+        return views
+
+    def overview(self) -> Dict[str, object]:
+        """The network-wide summary, aggregated over every shard."""
+        now = self.simulator.now
+        active_assignments = [
+            a for a in self.assignments.values() if a.state is AssignmentState.ACTIVE
+        ]
+        return {
+            "time": now,
+            "online_stations": self.health.online_stations(now),
+            "offline_stations": self.health.offline_stations(now),
+            "connected_clients": sorted(self.client_locations),
+            "assignments": len(self.assignments),
+            "active_assignments": len(active_assignments),
+            "enabled_nfs": sum(len(a.chain) for a in active_assignments),
+            "hotspot_stations": self.hotspots.hotspot_stations(),
+            "notifications": self.notifications.summary(),
+            "heartbeats_processed": self.heartbeats_processed,
+            "shards": self.shard_count,
+            "cross_shard_handoffs": len(self.handoffs),
+        }
+
+    def control_plane_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-station control-channel statistics, merged across shards
+        (same shape as ``GNFManager.control_plane_stats``)."""
+        return {name: channel.stats() for name, channel in self.channels.items()}
+
+    def shard_stats(self) -> Dict[str, object]:
+        """Per-shard load plus bus coalescing counters (benchmark E7)."""
+        per_shard: Dict[str, Dict[str, float]] = {}
+        for index, shard in enumerate(self.shards):
+            per_shard[f"shard-{index}"] = {
+                "stations": float(len(shard.agents)),
+                "assignments": float(len(shard.assignments)),
+                "heartbeats_processed": float(shard.heartbeats_processed),
+                "client_events_processed": float(shard.client_events_processed),
+                "scheduler_transitions": float(shard.scheduler.transitions),
+            }
+        return {
+            "shards": per_shard,
+            "bus": self.bus.stats(),
+            "cross_shard_handoffs": float(len(self.handoffs)),
+        }

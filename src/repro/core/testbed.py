@@ -20,6 +20,7 @@ from repro.core.placement import PlacementStrategy
 from repro.core.repository import NFRepository
 from repro.core.roaming import RoamingCoordinator
 from repro.core.seeds import derive_seed
+from repro.core.sharding import ShardedManager
 from repro.core.ui import GNFDashboard
 from repro.netem.simulator import Simulator
 from repro.netem.topology import EdgeTopology, StationProfile, TopologyConfig
@@ -64,10 +65,27 @@ class TestbedConfig:
     #: Flow-cached fast path on the station switches (disable to measure the
     #: pure slow-path baseline, e.g. in benchmark E6).
     fastpath_enabled: bool = True
+    #: Number of control-plane shards.  1 (the default) builds the single
+    #: historical :class:`~repro.core.manager.GNFManager`; >1 builds a
+    #: :class:`~repro.core.sharding.ShardedManager` that partitions the
+    #: stations into contiguous bands and coalesces agent->Manager traffic
+    #: through a ControlBus.  Scenario digests are identical either way.
+    shard_count: int = 1
 
 
 class GNFTestbed:
-    """A fully wired emulated edge deployment running GNF."""
+    """A fully wired emulated edge deployment running GNF.
+
+    Construction assembles everything Fig. 2 shows: the edge topology
+    (stations, gateway, core servers), one cell and one
+    :class:`~repro.core.agent.GNFAgent` per station, the central Manager --
+    a single :class:`~repro.core.manager.GNFManager` by default, or a
+    :class:`~repro.core.sharding.ShardedManager` when
+    ``config.shard_count > 1`` -- the roaming coordinator, the handover
+    manager and the operator dashboard.  :meth:`start` begins client
+    association scanning; :meth:`run` advances the shared simulator;
+    :meth:`stop` halts every periodic activity so the event queue drains.
+    """
 
     def __init__(self, config: Optional[TestbedConfig] = None) -> None:
         self.config = config or TestbedConfig()
@@ -87,12 +105,24 @@ class GNFTestbed:
             ),
         )
         self.repository = NFRepository.with_default_catalog()
-        self.manager = GNFManager(
-            self.simulator,
-            repository=self.repository,
-            topology=self.topology,
-            placement=self.config.placement,
-        )
+        if self.config.shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {self.config.shard_count}")
+        if self.config.shard_count > 1:
+            self.manager = ShardedManager(
+                self.simulator,
+                shard_count=self.config.shard_count,
+                station_count=self.config.station_count,
+                repository=self.repository,
+                topology=self.topology,
+                placement=self.config.placement,
+            )
+        else:
+            self.manager = GNFManager(
+                self.simulator,
+                repository=self.repository,
+                topology=self.topology,
+                placement=self.config.placement,
+            )
         self.radio = RadioEnvironment()
         self.handover = HandoverManager(
             self.simulator,
@@ -210,6 +240,7 @@ class GNFTestbed:
         return self.simulator.run_for(duration_s)
 
     def run_until(self, time_s: float) -> float:
+        """Advance the simulation up to absolute time ``time_s``."""
         return self.simulator.run(until=time_s)
 
     # --------------------------------------------------------------- queries
@@ -220,10 +251,13 @@ class GNFTestbed:
         return self.topology.any_server_ip()
 
     def agent_for(self, station_name: str) -> GNFAgent:
+        """The GNF Agent daemon running on ``station_name``."""
         return self.agents[station_name]
 
     def station_names(self) -> List[str]:
+        """Sorted names of every station in the deployment."""
         return sorted(self.topology.stations)
 
     def client(self, name: str) -> MobileClient:
+        """Look up a mobile client created via :meth:`add_client`."""
         return self.clients[name]

@@ -22,6 +22,7 @@ The spec schema
                    ``station_profile`` (``"router"``/``"server"``),
                    ``server_count``, ``migration_strategy``
                    (``cold``/``stateful``/``precopy``), ``fastpath_enabled``,
+                   ``shard_count`` (control-plane shards; digest-invariant),
                    ``handover_scan_jitter_s``, ``dns_zone``, ...
 ``fleets``         ``ClientFleetSpec`` list: ``count`` clients named
                    ``<name>-1..N`` at ``position`` (+ up to ``spread_m`` of
@@ -44,7 +45,9 @@ The spec schema
                    after ``duration_s``
 =================  =========================================================
 
-All times are simulated seconds from scenario start.
+All times are simulated seconds from scenario start.  The full authoring
+guide (field tables, a worked example and the canned-library reference)
+lives in ``docs/SCENARIOS.md``.
 
 Adding a canned scenario
 ------------------------

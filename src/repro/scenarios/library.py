@@ -63,9 +63,13 @@ def build_scenario(name: str, seed: int = 0) -> ScenarioSpec:
     return builder(seed).validate()
 
 
-def run_scenario(name: str, seed: int = 0) -> ScenarioResult:
-    """Build and run a canned scenario in one call."""
-    return ScenarioRunner(build_scenario(name, seed)).run()
+def run_scenario(name: str, seed: int = 0, shard_count: Optional[int] = None) -> ScenarioResult:
+    """Build and run a canned scenario in one call.
+
+    ``shard_count`` overrides the control-plane shard count (None keeps the
+    spec's own setting); the digest is identical for any value.
+    """
+    return ScenarioRunner(build_scenario(name, seed)).run(shard_count=shard_count)
 
 
 def _builder_rng(seed: int, name: str) -> random.Random:

@@ -51,7 +51,13 @@ from repro.netem.trafficgen import (
 )
 from repro.scenarios.digest import MetricsDigest
 from repro.scenarios.faults import FaultInjector
-from repro.scenarios.spec import ClientFleetSpec, MobilitySpec, ScenarioSpec, WorkloadSpec
+from repro.scenarios.spec import (
+    ClientFleetSpec,
+    MobilitySpec,
+    ScenarioSpec,
+    ScenarioSpecError,
+    WorkloadSpec,
+)
 from repro.wireless.mobility import (
     CommuterMobility,
     LinearMobility,
@@ -110,10 +116,20 @@ class ScenarioResult:
 class ScenarioRun:
     """A live, started scenario (returned by :meth:`ScenarioRunner.start`)."""
 
-    def __init__(self, spec: ScenarioSpec, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        seed: Optional[int] = None,
+        shard_count: Optional[int] = None,
+    ) -> None:
         self.spec = spec.validate()
         self.seed = spec.seed if seed is None else seed
         topo = spec.topology
+        self.shard_count = topo.shard_count if shard_count is None else shard_count
+        if self.shard_count < 1:
+            # The override must obey the same rule TopologySpec.validate()
+            # enforces on the spec's own value.
+            raise ScenarioSpecError(f"shard_count must be >= 1, got {self.shard_count}")
         profile = (
             StationProfile.server_class()
             if topo.station_profile == "server"
@@ -134,6 +150,7 @@ class ScenarioRun:
                 scan_interval_s=topo.scan_interval_s,
                 handover_scan_jitter_s=topo.handover_scan_jitter_s,
                 fastpath_enabled=topo.fastpath_enabled,
+                shard_count=self.shard_count,
             )
         )
         self.simulator = self.testbed.simulator
@@ -396,9 +413,14 @@ class ScenarioRun:
                 "rtt_samples": list(generator.rtts),
             }
         return {
+            # The raw simulator event count is deliberately NOT digested: it
+            # is an implementation detail of the control-plane transport (a
+            # coalescing ControlBus delivers the same messages at the same
+            # times under far fewer events), and the digest must be identical
+            # with sharding on or off.  It stays observable via
+            # ``ScenarioResult.events_processed``.
             "simulator": {
                 "now": self.simulator.now,
-                "events_processed": self.simulator.events_processed,
             },
             "stations": stations,
             "gateway": {
@@ -462,7 +484,7 @@ class ScenarioRunner:
     def __init__(self, spec: ScenarioSpec) -> None:
         self.spec = spec.validate()
 
-    def start(self, seed: Optional[int] = None) -> ScenarioRun:
+    def start(self, seed: Optional[int] = None, shard_count: Optional[int] = None) -> ScenarioRun:
         """Build and start a live run (use for phased/mid-run observation).
 
         ``seed`` overrides the *runtime* master seed only: mobility, workload,
@@ -471,11 +493,15 @@ class ScenarioRunner:
         ``spec.seed``) is kept fixed -- useful for sensitivity analysis on an
         identical scenario shape.  To reseed the structure too, rebuild via
         ``build_scenario(name, seed)``.
-        """
-        return ScenarioRun(self.spec, seed=seed)
 
-    def run(self, seed: Optional[int] = None) -> ScenarioResult:
+        ``shard_count`` overrides the spec topology's control-plane shard
+        count; the run's telemetry digest is identical for any value (the
+        E10 determinism matrix asserts this).
+        """
+        return ScenarioRun(self.spec, seed=seed, shard_count=shard_count)
+
+    def run(self, seed: Optional[int] = None, shard_count: Optional[int] = None) -> ScenarioResult:
         """Run the whole scenario; ``seed`` overrides runtime RNGs (see start)."""
-        run = self.start(seed=seed)
+        run = self.start(seed=seed, shard_count=shard_count)
         run.advance(self.spec.duration_s)
         return run.finalize()

@@ -252,6 +252,10 @@ class TopologySpec:
     station_profile: str = "router"
     migration_strategy: str = "cold"
     fastpath_enabled: bool = True
+    #: Control-plane shards (1 = the single historical Manager).  A scenario
+    #: replays to the identical MetricsDigest for any shard count -- the
+    #: knob trades control-plane event overhead, not behaviour.
+    shard_count: int = 1
     uplink_bandwidth_bps: float = 100e6
     heartbeat_interval_s: float = 2.0
     scan_interval_s: float = 0.5
@@ -275,6 +279,8 @@ class TopologySpec:
             raise ScenarioSpecError(
                 f"unknown migration strategy {self.migration_strategy!r}; valid: {MIGRATION_STRATEGIES}"
             )
+        if self.shard_count < 1:
+            raise ScenarioSpecError(f"shard_count must be >= 1, got {self.shard_count}")
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -285,6 +291,7 @@ class TopologySpec:
             "station_profile": self.station_profile,
             "migration_strategy": self.migration_strategy,
             "fastpath_enabled": self.fastpath_enabled,
+            "shard_count": self.shard_count,
             "uplink_bandwidth_bps": self.uplink_bandwidth_bps,
             "heartbeat_interval_s": self.heartbeat_interval_s,
             "scan_interval_s": self.scan_interval_s,
@@ -295,7 +302,20 @@ class TopologySpec:
 
 @dataclass
 class ScenarioSpec:
-    """A complete declarative scenario."""
+    """A complete declarative scenario.
+
+    The five building blocks: a :class:`TopologySpec` (deployment shape,
+    including the control plane's ``shard_count``), :class:`ClientFleetSpec`
+    fleets (who is there and how they move/talk), :class:`ChainAssignmentSpec`
+    attachments (which NF chains follow which fleet, on what schedule),
+    :class:`FaultSpec` injections, and the master ``seed`` from which every
+    RNG in the run derives.  ``validate()`` returns ``self`` after checking
+    cross-references (assignments name known fleets, faults target existing
+    stations); ``to_dict()`` yields a plain-JSON tree that round-trips the
+    whole description.  Specs contain no live objects: the same spec can be
+    replayed any number of times by :class:`~repro.scenarios.runner.ScenarioRunner`
+    and must produce the identical :class:`~repro.scenarios.digest.MetricsDigest`.
+    """
 
     name: str
     description: str = ""

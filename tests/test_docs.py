@@ -1,0 +1,45 @@
+"""Tier-1 wrapper around the docs consistency check (`tools/docs_check.py`).
+
+Keeps the documentation honest on every test run: cited file paths must
+exist and the scenario table must match the registry exactly.  The slower
+README-snippet execution runs in the CI ``docs-check`` job instead.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "tools"))
+
+import docs_check
+
+
+def test_doc_files_are_present():
+    assert "README.md" in docs_check.DOC_FILES
+    assert "docs/ARCHITECTURE.md" in docs_check.DOC_FILES
+    assert "docs/SCENARIOS.md" in docs_check.DOC_FILES
+
+
+def test_cited_paths_exist():
+    assert docs_check.check_paths(docs_check.DOC_FILES) == []
+
+
+def test_scenario_citations_match_registry():
+    assert docs_check.check_scenario_names(docs_check.DOC_FILES) == []
+
+
+def test_readme_has_runnable_quickstart_snippets():
+    # The snippets themselves run in CI's docs-check job; tier-1 just pins
+    # that they exist and still import from the public scenario API.
+    snippets = docs_check.readme_snippets()
+    assert snippets, "README.md lost its python quickstart snippet"
+    assert any("run_scenario" in code for _, code in snippets)
+
+
+def test_docs_check_detects_a_broken_citation(tmp_path, monkeypatch):
+    rigged = tmp_path / "BROKEN.md"
+    rigged.write_text("see `src/repro/core/no_such_module.py` and `docs/*.md`\n")
+    monkeypatch.setattr(docs_check, "REPO_ROOT", str(tmp_path))
+    problems = docs_check.check_paths(["BROKEN.md"])
+    assert len(problems) == 2  # missing file + glob matching nothing

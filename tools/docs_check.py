@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Documentation consistency check.
+
+Verifies that the documentation cannot silently rot:
+
+1. Every repository-relative file path cited in ``README.md`` and
+   ``docs/*.md`` (``src/...``, ``docs/...``, ``benchmarks/...``, bare
+   ``*.md`` files, glob patterns) actually exists.
+2. Every scenario name cited via ``run_scenario("...")`` /
+   ``build_scenario("...")`` or the ``run_scenario.py <name>`` CLI is
+   registered in the canned library, and the scenario table in
+   ``docs/SCENARIOS.md`` lists *exactly* the registered scenarios.
+3. (``--run-snippets``) The README's Python quickstart snippets execute
+   successfully against the current tree.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/docs_check.py [--run-snippets]
+
+Exits non-zero with a per-finding report when anything is broken.  Wired
+into CI as the ``docs-check`` job and into tier-1 via ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import re
+import sys
+from typing import Dict, List, Tuple
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+#: The documentation files the check walks.
+DOC_FILES = ["README.md"] + sorted(
+    os.path.relpath(path, REPO_ROOT) for path in glob.glob(os.path.join(REPO_ROOT, "docs", "*.md"))
+)
+
+#: Repo-relative path citations: a known top-level directory followed by a
+#: path, or a bare UPPERCASE.md file at the root.
+_PATH_PATTERN = re.compile(
+    r"\b((?:src|docs|tools|examples|benchmarks|tests)/[A-Za-z0-9_\-./*]+|[A-Z][A-Z0-9_]*\.md)\b"
+)
+
+#: Scenario names cited from code snippets or CLI examples.
+_SCENARIO_CALL_PATTERN = re.compile(r"(?:run_scenario|build_scenario)\(\s*\"([a-z0-9\-]+)\"")
+_SCENARIO_CLI_PATTERN = re.compile(r"run_scenario\.py\s+([a-z][a-z0-9\-]+)")
+
+#: Rows of the scenario table in docs/SCENARIOS.md: | `name` | ... |
+_SCENARIO_TABLE_ROW = re.compile(r"^\|\s*`([a-z0-9\-]+)`\s*\|", re.MULTILINE)
+
+_PYTHON_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _read(relpath: str) -> str:
+    with open(os.path.join(REPO_ROOT, relpath), encoding="utf-8") as handle:
+        return handle.read()
+
+
+def check_paths(doc_files: List[str]) -> List[str]:
+    """Every cited repo-relative path (or glob) must resolve to something."""
+    problems: List[str] = []
+    for doc in doc_files:
+        text = _read(doc)
+        for match in _PATH_PATTERN.finditer(text):
+            cited = match.group(1).rstrip(".")
+            target = os.path.join(REPO_ROOT, cited)
+            if "*" in cited:
+                if not glob.glob(target):
+                    problems.append(f"{doc}: glob {cited!r} matches no files")
+            elif not os.path.exists(target):
+                problems.append(f"{doc}: cited path {cited!r} does not exist")
+    return problems
+
+
+def check_scenario_names(doc_files: List[str]) -> List[str]:
+    """Cited scenario names must be registered; the table must be exact."""
+    from repro.scenarios import scenario_names
+
+    registered = set(scenario_names())
+    problems: List[str] = []
+    for doc in doc_files:
+        text = _read(doc)
+        cited = set(_SCENARIO_CALL_PATTERN.findall(text)) | set(
+            name for name in _SCENARIO_CLI_PATTERN.findall(text) if not name.startswith("-")
+        )
+        for name in sorted(cited - registered):
+            problems.append(f"{doc}: cites unregistered scenario {name!r}")
+
+    scenarios_doc = _read("docs/SCENARIOS.md")
+    heading = "## The canned library"
+    if heading not in scenarios_doc:
+        return problems + [f"docs/SCENARIOS.md: missing the {heading!r} section"]
+    table = set(_SCENARIO_TABLE_ROW.findall(scenarios_doc.split(heading, 1)[1]))
+    for name in sorted(registered - table):
+        problems.append(f"docs/SCENARIOS.md: registered scenario {name!r} missing from the table")
+    for name in sorted(table - registered):
+        problems.append(f"docs/SCENARIOS.md: table lists unknown scenario {name!r}")
+    return problems
+
+
+def readme_snippets() -> List[Tuple[int, str]]:
+    """The README's ```python fences, with their ordinal for error messages."""
+    return list(enumerate(_PYTHON_FENCE.findall(_read("README.md")), start=1))
+
+
+def run_readme_snippets() -> List[str]:
+    """Execute every README Python snippet in one shared namespace."""
+    problems: List[str] = []
+    namespace: Dict[str, object] = {"__name__": "__readme__"}
+    for ordinal, snippet in readme_snippets():
+        try:
+            exec(compile(snippet, f"<README.md python snippet #{ordinal}>", "exec"), namespace)
+        except Exception as error:  # pragma: no cover - failure reporting
+            problems.append(f"README.md: python snippet #{ordinal} failed: {error!r}")
+    return problems
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--run-snippets",
+        action="store_true",
+        help="also execute the README's Python quickstart snippets (slower)",
+    )
+    args = parser.parse_args(argv)
+
+    problems = check_paths(DOC_FILES) + check_scenario_names(DOC_FILES)
+    if args.run_snippets:
+        problems += run_readme_snippets()
+
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    checked = ", ".join(DOC_FILES)
+    suffix = " + README snippets" if args.run_snippets else ""
+    print(f"docs-check: OK ({checked}{suffix})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
