@@ -50,6 +50,12 @@ def main(argv=None) -> int:
         default=None,
         help="control-plane shard count (default: the scenario's own setting)",
     )
+    parser.add_argument(
+        "--strategy",
+        choices=["cold", "stateful", "precopy"],
+        default=None,
+        help="migration strategy override (default: the scenario's own setting)",
+    )
     parser.add_argument("--list", action="store_true", help="list canned scenarios and exit")
     parser.add_argument(
         "--check-determinism",
@@ -65,7 +71,12 @@ def main(argv=None) -> int:
             print(f"  {name:22s} {spec.description}")
         return 0
 
-    result = run_scenario(args.scenario, seed=args.seed, shard_count=args.shards)
+    result = run_scenario(
+        args.scenario,
+        seed=args.seed,
+        shard_count=args.shards,
+        migration_strategy=args.strategy,
+    )
     _print_result(result)
     if not result.drained:
         print(
@@ -76,7 +87,7 @@ def main(argv=None) -> int:
     if args.check_determinism:
         # Replay unsharded: digests must match across both replays *and*
         # shard counts, so one comparison checks both properties.
-        again = run_scenario(args.scenario, seed=args.seed)
+        again = run_scenario(args.scenario, seed=args.seed, migration_strategy=args.strategy)
         if result.digest != again.digest:
             print(
                 f"ERROR: scenario {args.scenario!r} is NOT deterministic; "

@@ -49,6 +49,15 @@ class NoMigrationCoordinator:
     def handle_client_disconnected(self, assignment: Assignment, event: ClientEvent) -> None:
         """Nothing to prepare: the chain will simply be left behind."""
 
+    def handle_client_reconnected(self, assignment: Assignment, event: ClientEvent) -> None:
+        """No staged roaming state to drop."""
+
+    def assignment_released(self, assignment_id: str) -> None:
+        """No staged roaming state to drop."""
+
+    def shutdown(self) -> None:
+        """Nothing periodic to stop."""
+
     def handle_client_connected(self, assignment: Assignment, event: ClientEvent) -> None:
         """Record that the chain is now stranded on the old station."""
         self.records.append(

@@ -215,6 +215,12 @@ class ChainDeployment:
     #: complete, so a disable racing an in-flight deployment can never leave
     #: rules installed for a half-built chain (or vice versa).
     desired_active: bool = True
+    #: Set by :meth:`GNFAgent.remove_chain` when the chain is torn down while
+    #: still booting: the deploy process rolls back at its next resume
+    #: instead of finishing a chain nobody tracks any more (which used to
+    #: leak containers and steering rules when a migration fallback
+    #: re-deployed the same assignment id in the same tick).
+    cancelled: bool = False
 
     @property
     def cookie(self) -> str:
@@ -391,6 +397,8 @@ class GNFAgent:
                 image, pull_time = self.runtime.ensure_image(entry.image_reference)
                 if pull_time > 0:
                     yield pull_time
+                if deployment.cancelled:
+                    raise DeploymentError("deployment cancelled")
                 container_name = (
                     f"{deployment.assignment_id}-{spec.nf_type}-{index}"
                     f"-{next(_deployment_counter):04d}"
@@ -419,10 +427,14 @@ class GNFAgent:
                     client_ip=deployment.client_ip,
                     cpu_scale=self.cpu_scale,
                 )
+                # Track the NF before the boot yield so a cancellation (or a
+                # failure) mid-boot rolls this container back too.
+                deployment.deployed_nfs.append(deployed)
                 boot_time = self.runtime.start(container)
                 yield boot_time
+                if deployment.cancelled:
+                    raise DeploymentError("deployment cancelled")
                 deployed.wire(self.mac_allocator)
-                deployment.deployed_nfs.append(deployed)
         except (AdmissionError, DeploymentError, KeyError) as error:
             self._rollback(deployment)
             self.deployments_failed += 1
@@ -447,7 +459,11 @@ class GNFAgent:
             if not deployed.container.is_terminal:
                 self.runtime.stop(deployed.container)
         deployment.deployed_nfs.clear()
-        self.deployments.pop(deployment.assignment_id, None)
+        # A cancelled deployment may already have been replaced under the
+        # same assignment id (migration fallback): only drop the table entry
+        # if it is still this very deployment.
+        if self.deployments.get(deployment.assignment_id) is deployment:
+            self.deployments.pop(deployment.assignment_id, None)
         self.flush_client_flows(deployment.client_ip)
 
     # ----------------------------------------------------------- flow rules
@@ -552,6 +568,13 @@ class GNFAgent:
         """Tear down a deployment; returns the estimated teardown duration."""
         deployment = self.deployments.pop(assignment_id, None)
         if deployment is None:
+            if on_complete is not None:
+                self.simulator.schedule(0.0, on_complete, assignment_id)
+            return 0.0
+        if deployment.active_at is None:
+            # Still booting: flag it and let the deploy process roll back the
+            # containers at its next resume (it owns the in-flight boot).
+            deployment.cancelled = True
             if on_complete is not None:
                 self.simulator.schedule(0.0, on_complete, assignment_id)
             return 0.0

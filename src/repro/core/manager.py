@@ -110,6 +110,15 @@ def track_client_event(owner, event: ClientEvent) -> None:
                     and assignment.station_name != event.station_name
                 ):
                     owner.roaming.handle_client_connected(assignment, event)
+                elif (
+                    assignment.state is AssignmentState.ACTIVE
+                    and assignment.station_name == event.station_name
+                ):
+                    # The client came back to the station already hosting its
+                    # chain: nothing migrates, but roaming state staged while
+                    # it was away (captured exports, speculative replicas)
+                    # must be dropped or it leaks on shuttling clients.
+                    owner.roaming.handle_client_reconnected(assignment, event)
     elif event.event == "disconnected":
         if previous_station == event.station_name:
             owner.client_locations.pop(event.client_ip, None)
@@ -281,6 +290,10 @@ class GNFManager:
         channel.call(agent.remove_chain, assignment_id)
         assignment.state = AssignmentState.REMOVED
         self.scheduler.remove(assignment_id)
+        # Release any roaming state staged for this assignment (captured NF
+        # exports, speculative replicas) so a detach can never leak it.
+        if self.roaming is not None:
+            self.roaming.assignment_released(assignment_id)
         return assignment
 
     def _dispatch_deployment(
@@ -314,7 +327,9 @@ class GNFManager:
         deployment: ChainDeployment,
     ) -> None:
         assignment = self.assignments.get(assignment_id)
-        if assignment is None:
+        if assignment is None or assignment.state is AssignmentState.REMOVED:
+            # A detach raced the deployment: the boot was cancelled (or its
+            # chain already torn down); never resurrect the assignment.
             return
         if success:
             assignment.state = AssignmentState.ACTIVE

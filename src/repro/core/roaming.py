@@ -3,61 +3,44 @@
 This is the paper's headline feature ("Function roaming: with its small
 footprint and encapsulated functions, GNF seamlessly moves the NFs when the
 user roams between cells, providing consistent and location-transparent
-service", and Fig. 2's demo).  Three strategies are implemented so benchmark
-E5 can compare them:
+service", and Fig. 2's demo).  Three strategies are implemented so the
+benchmarks can compare them:
 
 * ``cold`` -- the demo's approach: when the client appears at a new station,
   an *equivalent* chain is instantiated there from scratch and the old one is
   removed.  NF state is lost; the coverage gap is dominated by container
   instantiation at the new station.
 * ``stateful`` -- checkpoint/restore: the old chain is checkpointed, the
-  checkpoints are transferred over the inter-station path and restored at the
-  new station, so NF state (conntrack, caches, NAT bindings...) survives.
-  The coverage gap grows with the state size.
+  checkpoint bytes travel over the inter-station backhaul links (congesting
+  with client traffic, paying per-hop RTT) and are restored at the new
+  station, so NF state (conntrack, caches, NAT bindings...) survives.  The
+  coverage gap grows with the state size and the backhaul load.
 * ``precopy`` -- make-before-break: when the client *leaves* its old cell,
   speculative replicas are started on candidate next stations while the old
-  chain keeps its state; when the client reappears, only a small state delta
-  is copied into the already-running replica.  The coverage gap shrinks to
-  roughly the control latency, at the cost of temporary extra resources.
+  chain keeps its state; when the client reappears, iterative rounds of
+  shrinking dirty deltas are copied into the already-running replica until
+  the final delta fits inside the downtime target.  The coverage gap shrinks
+  to roughly the control latency, at the cost of temporary extra resources.
+
+The coordinator itself is deliberately thin: it is the Manager-facing event
+surface (client (dis)connects, releases, shutdown) and the keeper of the
+migration records, while all mechanics -- strategy policies, link-routed
+state transfers, speculative-replica and captured-state lifecycle -- live in
+the :class:`~repro.core.migration.MigrationEngine` subsystem.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.agent import ChainDeployment, GNFAgent
 from repro.core.api import ClientEvent
-from repro.core.errors import MigrationError
-from repro.core.manager import Assignment, AssignmentState, GNFManager
+from repro.core.manager import Assignment, GNFManager
+from repro.core.migration import (  # noqa: F401 - re-exported for compatibility
+    MigrationEngine,
+    MigrationRecord,
+    VALID_STRATEGIES,
+)
 from repro.netem.simulator import Simulator
-
-VALID_STRATEGIES = ("cold", "stateful", "precopy")
-
-
-@dataclass
-class MigrationRecord:
-    """One completed (or failed) NF migration."""
-
-    assignment_id: str
-    client_ip: str
-    nf_types: List[str]
-    from_station: str
-    to_station: str
-    strategy: str
-    started_at: float
-    client_connected_at: float
-    completed_at: Optional[float] = None
-    coverage_gap_s: Optional[float] = None
-    state_transferred_mb: float = 0.0
-    success: bool = False
-    detail: str = ""
-
-    @property
-    def total_duration_s(self) -> Optional[float]:
-        if self.completed_at is None:
-            return None
-        return self.completed_at - self.started_at
 
 
 class RoamingCoordinator:
@@ -70,249 +53,77 @@ class RoamingCoordinator:
         strategy: str = "cold",
         transfer_bandwidth_bps: Optional[float] = None,
         speculative_station_limit: int = 3,
+        chunk_bytes: int = 65536,
+        precopy_max_rounds: int = 4,
+        precopy_downtime_target_s: float = 0.05,
+        precopy_dirty_fraction: float = 0.25,
     ) -> None:
-        if strategy not in VALID_STRATEGIES:
-            raise MigrationError(f"unknown migration strategy {strategy!r}; valid: {VALID_STRATEGIES}")
         self.simulator = simulator
         self.manager = manager
-        self.strategy = strategy
-        self.speculative_station_limit = speculative_station_limit
-        if transfer_bandwidth_bps is None and manager.topology is not None:
-            transfer_bandwidth_bps = manager.topology.config.uplink_bandwidth_bps
-        self.transfer_bandwidth_bps = transfer_bandwidth_bps or 100e6
-        self.records: List[MigrationRecord] = []
-        # assignment_id -> station -> speculative deployment (precopy only).
-        self._speculative: Dict[str, Dict[str, ChainDeployment]] = {}
-        # assignment_id -> exported state captured when the client left (stateful/precopy).
-        self._captured_state: Dict[str, List[Dict[str, object]]] = {}
+        self.engine = MigrationEngine(
+            simulator,
+            manager,
+            strategy=strategy,
+            transfer_bandwidth_bps=transfer_bandwidth_bps,
+            speculative_station_limit=speculative_station_limit,
+            chunk_bytes=chunk_bytes,
+            precopy_max_rounds=precopy_max_rounds,
+            precopy_downtime_target_s=precopy_downtime_target_s,
+            precopy_dirty_fraction=precopy_dirty_fraction,
+        )
         manager.roaming = self
+
+    @property
+    def strategy(self) -> str:
+        return self.engine.strategy
+
+    @property
+    def transfer_bandwidth_bps(self) -> float:
+        return self.engine.transfer_bandwidth_bps
+
+    @property
+    def records(self) -> List[MigrationRecord]:
+        return self.engine.records
+
+    # The ledgers live on the engine; exposed here because tests and the
+    # acceptance criteria assert their boundedness through the coordinator.
+    @property
+    def _captured_state(self) -> Dict[str, List[Dict[str, object]]]:
+        return self.engine._captured_state
+
+    @property
+    def _speculative(self) -> Dict[str, Dict[str, object]]:
+        return self.engine._speculative
 
     # ----------------------------------------------------------- event hooks
 
     def handle_client_disconnected(self, assignment: Assignment, event: ClientEvent) -> None:
         """The client left the station currently hosting its chain."""
-        if self.strategy == "precopy":
-            self._start_speculative_replicas(assignment, exclude_station=event.station_name)
-        if self.strategy in ("stateful", "precopy"):
-            agent = self.manager.agents.get(assignment.station_name)
-            if agent is not None:
-                self._captured_state[assignment.assignment_id] = agent.export_chain_state(
-                    assignment.assignment_id
-                )
+        self.engine.client_disconnected(assignment, event)
 
     def handle_client_connected(self, assignment: Assignment, event: ClientEvent) -> None:
         """The client appeared at a station different from its chain's home."""
-        record = MigrationRecord(
-            assignment_id=assignment.assignment_id,
-            client_ip=assignment.client_ip,
-            nf_types=assignment.chain.nf_types,
-            from_station=assignment.station_name,
-            to_station=event.station_name,
-            strategy=self.strategy,
-            started_at=self.simulator.now,
-            client_connected_at=event.time,
-        )
-        self.records.append(record)
-        assignment.state = AssignmentState.MIGRATING
-        if self.strategy == "cold":
-            self._migrate_cold(assignment, event, record)
-        elif self.strategy == "stateful":
-            self.simulator.process(
-                self._migrate_stateful(assignment, event, record),
-                name=f"migrate-{assignment.assignment_id}",
-            )
-        else:
-            self._migrate_precopy(assignment, event, record)
+        self.engine.client_connected(assignment, event)
 
-    # -------------------------------------------------------------- strategies
+    def handle_client_reconnected(self, assignment: Assignment, event: ClientEvent) -> None:
+        """The client came back to its chain's own station: drop staged state."""
+        self.engine.client_reconnected(assignment, event)
 
-    def _finalize(
-        self,
-        assignment: Assignment,
-        record: MigrationRecord,
-        old_station: str,
-        success: bool,
-        detail: str = "",
-    ) -> None:
-        record.completed_at = self.simulator.now
-        record.success = success
-        record.detail = detail
-        if success:
-            record.coverage_gap_s = max(0.0, self.simulator.now - record.client_connected_at)
-            assignment.station_name = record.to_station
-            assignment.station_history.append(record.to_station)
-            assignment.migrations += 1
-            assignment.state = AssignmentState.ACTIVE
-            assignment.active_at = self.simulator.now
-            # Tell the Manager the assignment's home station moved: a plain
-            # GNFManager ignores this, a sharded frontend hands the
-            # assignment off to the shard owning the new station.
-            self.manager.assignment_station_changed(assignment, old_station)
-            # Reconcile with the assignment's time schedule: the re-deploy at
-            # the new station steers by default, but if the schedule window is
-            # currently closed the chain must come up unsteered (the scheduler
-            # itself won't correct this -- it already recorded the assignment
-            # as disabled, so it sees no transition to drive).
-            if not assignment.schedule.is_active(self.simulator.now):
-                new_agent = self.manager.agents.get(record.to_station)
-                if new_agent is not None:
-                    self.manager.channels[record.to_station].call(
-                        new_agent.set_chain_active, assignment.assignment_id, False
-                    )
-        else:
-            assignment.state = AssignmentState.FAILED
-            assignment.failure_reason = detail
-        # Remove the old chain regardless; the station the client left should
-        # not keep spending resources on it.  The removal also invalidates the
-        # old station's fast path: remove_chain flushes the client's cached
-        # verdicts and the rule removal bumps the table generation, so no
-        # stale verdict can keep steering the roamed client's traffic into
-        # the chain being torn down.
-        old_agent = self.manager.agents.get(old_station)
-        if old_agent is not None and old_station != record.to_station:
-            channel = self.manager.channels[old_station]
-            channel.call(old_agent.remove_chain, assignment.assignment_id)
+    def assignment_released(self, assignment_id: str) -> None:
+        """The Manager detached the assignment: drop all roaming state for it."""
+        self.engine.assignment_released(assignment_id)
 
-    def _migrate_cold(self, assignment: Assignment, event: ClientEvent, record: MigrationRecord) -> None:
-        """Start an equivalent, fresh chain at the new station."""
-        old_station = assignment.station_name
-        new_agent = self.manager.agent(event.station_name)
-        channel = self.manager.channels[event.station_name]
-
-        def on_complete(deployment: ChainDeployment, success: bool, detail: str) -> None:
-            self._finalize(assignment, record, old_station, success, detail)
-
-        channel.call(
-            new_agent.deploy_chain,
-            assignment.assignment_id,
-            assignment.client_ip,
-            assignment.chain,
-            assignment.selector,
-            None,
-            on_complete,
-        )
-
-    def _migrate_stateful(self, assignment: Assignment, event: ClientEvent, record: MigrationRecord):
-        """Checkpoint at the old station, transfer, restore at the new one."""
-        old_station = assignment.station_name
-        old_agent = self.manager.agents.get(old_station)
-        new_agent = self.manager.agent(event.station_name)
-        channel = self.manager.channels[event.station_name]
-
-        nf_states: List[Dict[str, object]] = []
-        state_mb = 0.0
-        if old_agent is not None:
-            checkpoints, checkpoint_duration = old_agent.checkpoint_chain(assignment.assignment_id)
-            if checkpoint_duration > 0:
-                yield checkpoint_duration
-            nf_states = [dict(checkpoint.nf_state) for checkpoint in checkpoints]
-            state_mb = sum(checkpoint.size_mb for checkpoint in checkpoints)
-            if not nf_states:
-                nf_states = self._captured_state.get(assignment.assignment_id, [])
-        record.state_transferred_mb = state_mb
-        if state_mb > 0:
-            rtt = 2 * self.manager.topology.station_to_station_latency(old_station, event.station_name) if self.manager.topology else 0.01
-            transfer_s = rtt + (state_mb * 8 * 1_000_000) / self.transfer_bandwidth_bps
-            yield transfer_s
-
-        def on_complete(deployment: ChainDeployment, success: bool, detail: str) -> None:
-            self._finalize(assignment, record, old_station, success, detail)
-
-        channel.call(
-            new_agent.deploy_chain,
-            assignment.assignment_id,
-            assignment.client_ip,
-            assignment.chain,
-            assignment.selector,
-            nf_states,
-            on_complete,
-        )
-
-    def _migrate_precopy(self, assignment: Assignment, event: ClientEvent, record: MigrationRecord) -> None:
-        """Switch over to an already-running speculative replica."""
-        old_station = assignment.station_name
-        replicas = self._speculative.get(assignment.assignment_id, {})
-        replica = replicas.get(event.station_name)
-        ready = replica is not None and replica.active_at is not None
-        if not ready:
-            # The replica is absent or still booting: fall back to a cold migration
-            # (still counts against the precopy strategy in the benchmarks).
-            self._cleanup_speculative(assignment.assignment_id, keep_station=None)
-            self._migrate_cold(assignment, event, record)
-            return
-
-        captured = self._captured_state.get(assignment.assignment_id, [])
-        # Only the delta since the client left needs to move now; model it as a
-        # small fraction of the full state.
-        delta_mb = 0.1 * sum(len(str(state)) for state in captured) / 1e6
-        record.state_transferred_mb = delta_mb
-        new_agent = self.manager.agent(event.station_name)
-        channel = self.manager.channels[event.station_name]
-        transfer_s = (delta_mb * 8 * 1_000_000) / self.transfer_bandwidth_bps if delta_mb > 0 else 0.0
-
-        def switch_over() -> None:
-            assert replica is not None
-            for index, deployed in enumerate(replica.deployed_nfs):
-                if index < len(captured) and captured[index]:
-                    deployed.nf.import_state(captured[index])
-            new_agent.set_chain_active(assignment.assignment_id, True)
-            self._cleanup_speculative(assignment.assignment_id, keep_station=event.station_name)
-            self._finalize(assignment, record, old_station, True, "switched to pre-copied replica")
-
-        self.simulator.schedule(transfer_s, channel.call, switch_over)
-
-    # ----------------------------------------------------------- speculation
-
-    def _start_speculative_replicas(self, assignment: Assignment, exclude_station: str) -> None:
-        """Boot replicas of the chain on candidate next stations (precopy)."""
-        replicas = self._speculative.setdefault(assignment.assignment_id, {})
-        candidates = [name for name in self.manager.agents if name != exclude_station]
-        for station_name in candidates[: self.speculative_station_limit]:
-            if station_name in replicas:
-                continue
-            agent = self.manager.agent(station_name)
-            channel = self.manager.channels[station_name]
-            deployment = agent.deploy_chain(
-                assignment.assignment_id,
-                assignment.client_ip,
-                assignment.chain,
-                assignment.selector,
-            )
-            replicas[station_name] = deployment
-
-    def _cleanup_speculative(self, assignment_id: str, keep_station: Optional[str]) -> None:
-        """Remove speculative replicas that were not chosen."""
-        replicas = self._speculative.pop(assignment_id, {})
-        for station_name in replicas:
-            if station_name == keep_station:
-                continue
-            agent = self.manager.agents.get(station_name)
-            if agent is not None:
-                self.manager.channels[station_name].call(agent.remove_chain, assignment_id)
+    def shutdown(self) -> None:
+        """End-of-run cleanup (called by ``GNFTestbed.stop``)."""
+        self.engine.shutdown()
 
     # --------------------------------------------------------------- stats
 
     def completed_migrations(self) -> List[MigrationRecord]:
-        return [record for record in self.records if record.completed_at is not None and record.success]
+        return self.engine.completed_migrations()
 
     def mean_coverage_gap_s(self) -> float:
-        gaps = [
-            record.coverage_gap_s
-            for record in self.completed_migrations()
-            if record.coverage_gap_s is not None
-        ]
-        return sum(gaps) / len(gaps) if gaps else 0.0
+        return self.engine.mean_coverage_gap_s()
 
     def summary(self) -> Dict[str, float]:
-        completed = self.completed_migrations()
-        return {
-            "strategy_" + self.strategy: 1.0,
-            "migrations_started": float(len(self.records)),
-            "migrations_completed": float(len(completed)),
-            "mean_coverage_gap_s": self.mean_coverage_gap_s(),
-            "mean_state_transferred_mb": (
-                sum(record.state_transferred_mb for record in completed) / len(completed)
-                if completed
-                else 0.0
-            ),
-        }
+        return self.engine.summary()

@@ -511,7 +511,12 @@ class ShardedManager:
         shard_index = self._assignment_shard.get(assignment_id)
         if shard_index is None:
             raise UnknownAssignmentError(assignment_id)
-        return self.shards[shard_index].detach(assignment_id)
+        assignment = self.shards[shard_index].detach(assignment_id)
+        # Shards have no roaming hook (roaming is frontend-global), so the
+        # frontend must release the coordinator's staged state itself.
+        if self.roaming is not None:
+            self.roaming.assignment_released(assignment_id)
+        return assignment
 
     # ---------------------------------------------------------- bus delivery
 

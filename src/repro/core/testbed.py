@@ -54,6 +54,15 @@ class TestbedConfig:
     server_count: int = 1
     dns_zone: Dict[str, List[str]] = field(default_factory=lambda: {"cdn.example.com": ["203.0.113.10"]})
     migration_strategy: str = "cold"
+    #: Chunk size the migration engine uses when it moves checkpoint bytes
+    #: over the backhaul links (one chunk = one packet on the wire).
+    migration_chunk_bytes: int = 65536
+    #: Iterative pre-copy knobs: maximum dirty-delta rounds before the
+    #: freeze, the downtime the final copy must fit into, and how much of
+    #: the state is re-dirtied between rounds.
+    precopy_max_rounds: int = 4
+    precopy_downtime_target_s: float = 0.05
+    precopy_dirty_fraction: float = 0.25
     heartbeat_interval_s: float = 2.0
     scan_interval_s: float = 0.5
     handover_delay_s: float = 0.05
@@ -135,7 +144,13 @@ class GNFTestbed:
             jitter_rng=random.Random(self.seed_for("handover", "scan-jitter")),
         )
         self.roaming = RoamingCoordinator(
-            self.simulator, self.manager, strategy=self.config.migration_strategy
+            self.simulator,
+            self.manager,
+            strategy=self.config.migration_strategy,
+            chunk_bytes=self.config.migration_chunk_bytes,
+            precopy_max_rounds=self.config.precopy_max_rounds,
+            precopy_downtime_target_s=self.config.precopy_downtime_target_s,
+            precopy_dirty_fraction=self.config.precopy_dirty_fraction,
         )
         self.ui = GNFDashboard(self.manager)
         self.agents: Dict[str, GNFAgent] = {}
@@ -231,6 +246,10 @@ class GNFTestbed:
         relies on to assert a clean drain.
         """
         self.handover.stop()
+        # Abandon in-flight state transfers and tear down speculative
+        # replicas so no migration machinery keeps rescheduling itself (and
+        # no captured state or replica outlives the run).
+        self.roaming.shutdown()
         self.manager.scheduler.stop()
         for agent in self.agents.values():
             agent.stop()

@@ -170,9 +170,14 @@ class Gateway(Host):
         self.server_macs: Dict[str, str] = {}
         self.client_locations: Dict[str, str] = {}
         self.client_macs: Dict[str, str] = {}
+        #: Migration state-transfer endpoints: IP -> (station, endpoint MAC).
+        #: Registered by the migration engine so checkpoint chunks ride the
+        #: same uplinks as client traffic (kept out of the client counters).
+        self.migration_endpoints: Dict[str, Tuple[str, str]] = {}
         self.packets_routed_upstream = 0
         self.packets_routed_downstream = 0
         self.packets_dropped = 0
+        self.state_chunks_routed = 0
         self.location_updates = 0
 
     # ------------------------------------------------------------ registry
@@ -194,6 +199,12 @@ class Gateway(Host):
             raise KeyError(f"gateway does not know station {station_name!r}")
         self.client_locations[client_ip] = station_name
         self.location_updates += 1
+
+    def register_migration_endpoint(self, ip: str, mac: str, station_name: str) -> None:
+        """Route a station's migration endpoint address to that station."""
+        if station_name not in self.station_interfaces:
+            raise KeyError(f"gateway does not know station {station_name!r}")
+        self.migration_endpoints[ip] = (station_name, mac)
 
     def remove_client(self, client_ip: str) -> None:
         self.client_locations.pop(client_ip, None)
@@ -222,6 +233,16 @@ class Gateway(Host):
                 packet.eth.dst = self.server_macs[destination]
             self.packets_routed_upstream += 1
             self.core_interface.send(packet)
+            return
+        endpoint = self.migration_endpoints.get(destination)
+        if endpoint is not None:
+            station_name, endpoint_mac = endpoint
+            out = self.station_interfaces[station_name]
+            if packet.eth is not None:
+                packet.eth.src = out.mac
+                packet.eth.dst = endpoint_mac
+            self.state_chunks_routed += 1
+            out.send(packet)
             return
         station_name = self.client_locations.get(destination)
         if station_name is not None:

@@ -63,13 +63,22 @@ def build_scenario(name: str, seed: int = 0) -> ScenarioSpec:
     return builder(seed).validate()
 
 
-def run_scenario(name: str, seed: int = 0, shard_count: Optional[int] = None) -> ScenarioResult:
+def run_scenario(
+    name: str,
+    seed: int = 0,
+    shard_count: Optional[int] = None,
+    migration_strategy: Optional[str] = None,
+) -> ScenarioResult:
     """Build and run a canned scenario in one call.
 
     ``shard_count`` overrides the control-plane shard count (None keeps the
     spec's own setting); the digest is identical for any value.
+    ``migration_strategy`` overrides the topology's migration strategy, so
+    any canned scenario can be replayed cold/stateful/precopy.
     """
-    return ScenarioRunner(build_scenario(name, seed)).run(shard_count=shard_count)
+    return ScenarioRunner(build_scenario(name, seed)).run(
+        shard_count=shard_count, migration_strategy=migration_strategy
+    )
 
 
 def _builder_rng(seed: int, name: str) -> random.Random:
@@ -426,6 +435,126 @@ def _mixed_chain_density(seed: int) -> ScenarioSpec:
         ),
         fleets=fleets,
         assignments=assignments,
+    )
+
+
+@register_scenario("precopy-commuters")
+def _precopy_commuters(seed: int) -> ScenarioSpec:
+    """Make-before-break storm: commuters served by iterative pre-copy."""
+    rng = _builder_rng(seed, "precopy-commuters")
+    fleets = []
+    assignments = []
+    for index in range(2):
+        name = f"rider{index + 1}"
+        speed = rng.uniform(6.0, 9.0)
+        dwell = rng.uniform(5.0, 9.0)
+        fleets.append(
+            ClientFleetSpec(
+                name=name,
+                count=1,
+                position=(0.0, float(index) * 3.0),
+                mobility=MobilitySpec(
+                    model="commuter",
+                    start_s=rng.uniform(3.0, 6.0),
+                    params={
+                        "anchor_a": (0.0, float(index) * 3.0),
+                        "anchor_b": (140.0, float(index) * 3.0),
+                        "speed_mps": speed,
+                        "dwell_s": dwell,
+                    },
+                ),
+                workloads=[
+                    WorkloadSpec(kind="http", start_s=2.0, params={"mean_think_time_s": 0.8}),
+                    WorkloadSpec(kind="cbr", start_s=2.5, params={"rate_pps": 15.0}),
+                ],
+            )
+        )
+        assignments.append(
+            ChainAssignmentSpec(
+                fleet=name, nfs=["firewall", "flow-monitor"], attach_at_s=1.0 + 0.3 * index
+            )
+        )
+    return ScenarioSpec(
+        name="precopy-commuters",
+        description=(
+            "Two commuters shuttle across three stations while their "
+            "firewall + flow-monitor chains follow via iterative pre-copy: "
+            "speculative replicas, shrinking dirty-delta rounds and "
+            "millisecond switchovers under a sustained handover storm."
+        ),
+        seed=seed,
+        duration_s=85.0,
+        topology=TopologySpec(
+            station_count=3,
+            station_spacing_m=70.0,
+            migration_strategy="precopy",
+            precopy_max_rounds=3,
+            handover_scan_jitter_s=0.05,
+        ),
+        fleets=fleets,
+        assignments=assignments,
+    )
+
+
+@register_scenario("stateful-backhaul")
+def _stateful_backhaul(seed: int) -> ScenarioSpec:
+    """Checkpoint bytes fight client traffic for a narrow backhaul."""
+    return ScenarioSpec(
+        name="stateful-backhaul",
+        description=(
+            "One roamer's firewall chain migrates statefully over a 20 Mbit/s "
+            "backhaul that two CBR-heavy fleets keep loaded: the checkpoint "
+            "chunks queue behind (and delay) client traffic on the shared "
+            "uplinks, making the transfer-time cost of state visible."
+        ),
+        seed=seed,
+        duration_s=75.0,
+        topology=TopologySpec(
+            station_count=2,
+            station_spacing_m=80.0,
+            migration_strategy="stateful",
+            uplink_bandwidth_bps=20e6,
+        ),
+        fleets=[
+            ClientFleetSpec(
+                name="roamer",
+                count=1,
+                position=(0.0, 0.0),
+                mobility=MobilitySpec(
+                    model="linear",
+                    start_s=22.0,
+                    params={"velocity_mps": (8.0, 0.0), "destination": (80.0, 0.0)},
+                ),
+                workloads=[
+                    WorkloadSpec(kind="http", start_s=3.0, params={"mean_think_time_s": 0.5}),
+                ],
+            ),
+            ClientFleetSpec(
+                name="load-west",
+                count=2,
+                position=(5.0, 4.0),
+                spread_m=6.0,
+                workloads=[
+                    WorkloadSpec(
+                        kind="cbr", start_s=5.0, params={"rate_pps": 150.0, "payload_bytes": 1300}
+                    ),
+                ],
+            ),
+            ClientFleetSpec(
+                name="load-east",
+                count=2,
+                position=(75.0, 4.0),
+                spread_m=6.0,
+                workloads=[
+                    WorkloadSpec(
+                        kind="cbr", start_s=5.0, params={"rate_pps": 150.0, "payload_bytes": 1300}
+                    ),
+                ],
+            ),
+        ],
+        assignments=[
+            ChainAssignmentSpec(fleet="roamer", nfs=["firewall"], attach_at_s=1.0),
+        ],
     )
 
 

@@ -52,6 +52,7 @@ from repro.netem.trafficgen import (
 from repro.scenarios.digest import MetricsDigest
 from repro.scenarios.faults import FaultInjector
 from repro.scenarios.spec import (
+    MIGRATION_STRATEGIES,
     ClientFleetSpec,
     MobilitySpec,
     ScenarioSpec,
@@ -121,6 +122,7 @@ class ScenarioRun:
         spec: ScenarioSpec,
         seed: Optional[int] = None,
         shard_count: Optional[int] = None,
+        migration_strategy: Optional[str] = None,
     ) -> None:
         self.spec = spec.validate()
         self.seed = spec.seed if seed is None else seed
@@ -130,6 +132,14 @@ class ScenarioRun:
             # The override must obey the same rule TopologySpec.validate()
             # enforces on the spec's own value.
             raise ScenarioSpecError(f"shard_count must be >= 1, got {self.shard_count}")
+        self.migration_strategy = (
+            topo.migration_strategy if migration_strategy is None else migration_strategy
+        )
+        if self.migration_strategy not in MIGRATION_STRATEGIES:
+            raise ScenarioSpecError(
+                f"unknown migration strategy {self.migration_strategy!r}; "
+                f"valid: {MIGRATION_STRATEGIES}"
+            )
         profile = (
             StationProfile.server_class()
             if topo.station_profile == "server"
@@ -145,7 +155,11 @@ class ScenarioRun:
                 uplink_bandwidth_bps=topo.uplink_bandwidth_bps,
                 server_count=topo.server_count,
                 dns_zone={name: list(ips) for name, ips in topo.dns_zone.items()},
-                migration_strategy=topo.migration_strategy,
+                migration_strategy=self.migration_strategy,
+                migration_chunk_bytes=topo.migration_chunk_bytes,
+                precopy_max_rounds=topo.precopy_max_rounds,
+                precopy_downtime_target_s=topo.precopy_downtime_target_s,
+                precopy_dirty_fraction=topo.precopy_dirty_fraction,
                 heartbeat_interval_s=topo.heartbeat_interval_s,
                 scan_interval_s=topo.scan_interval_s,
                 handover_scan_jitter_s=topo.handover_scan_jitter_s,
@@ -427,6 +441,7 @@ class ScenarioRun:
                 "packets_routed_upstream": gateway.packets_routed_upstream,
                 "packets_routed_downstream": gateway.packets_routed_downstream,
                 "packets_dropped": gateway.packets_dropped,
+                "state_chunks_routed": gateway.state_chunks_routed,
                 "location_updates": gateway.location_updates,
             },
             "clients": {name: client.stats() for name, client in testbed.clients.items()},
@@ -457,6 +472,10 @@ class ScenarioRun:
                         "completed_at": record.completed_at,
                         "coverage_gap_s": record.coverage_gap_s,
                         "state_transferred_mb": record.state_transferred_mb,
+                        "bytes_moved": record.bytes_moved,
+                        "rounds": record.rounds,
+                        "freeze_time_s": record.freeze_time_s,
+                        "downtime_s": record.downtime_s,
                         "success": record.success,
                     }
                     for record in testbed.roaming.records
@@ -484,7 +503,12 @@ class ScenarioRunner:
     def __init__(self, spec: ScenarioSpec) -> None:
         self.spec = spec.validate()
 
-    def start(self, seed: Optional[int] = None, shard_count: Optional[int] = None) -> ScenarioRun:
+    def start(
+        self,
+        seed: Optional[int] = None,
+        shard_count: Optional[int] = None,
+        migration_strategy: Optional[str] = None,
+    ) -> ScenarioRun:
         """Build and start a live run (use for phased/mid-run observation).
 
         ``seed`` overrides the *runtime* master seed only: mobility, workload,
@@ -496,12 +520,23 @@ class ScenarioRunner:
 
         ``shard_count`` overrides the spec topology's control-plane shard
         count; the run's telemetry digest is identical for any value (the
-        E10 determinism matrix asserts this).
+        E10 determinism matrix asserts this).  ``migration_strategy``
+        overrides the topology's strategy (``cold``/``stateful``/``precopy``)
+        so the same scenario shape can be compared across strategies.
         """
-        return ScenarioRun(self.spec, seed=seed, shard_count=shard_count)
+        return ScenarioRun(
+            self.spec, seed=seed, shard_count=shard_count, migration_strategy=migration_strategy
+        )
 
-    def run(self, seed: Optional[int] = None, shard_count: Optional[int] = None) -> ScenarioResult:
+    def run(
+        self,
+        seed: Optional[int] = None,
+        shard_count: Optional[int] = None,
+        migration_strategy: Optional[str] = None,
+    ) -> ScenarioResult:
         """Run the whole scenario; ``seed`` overrides runtime RNGs (see start)."""
-        run = self.start(seed=seed, shard_count=shard_count)
+        run = self.start(
+            seed=seed, shard_count=shard_count, migration_strategy=migration_strategy
+        )
         run.advance(self.spec.duration_s)
         return run.finalize()

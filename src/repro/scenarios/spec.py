@@ -251,6 +251,13 @@ class TopologySpec:
     server_count: int = 1
     station_profile: str = "router"
     migration_strategy: str = "cold"
+    #: Migration-engine knobs (see :mod:`repro.core.migration`): the wire
+    #: chunk size for link-routed state transfers and the iterative
+    #: pre-copy round budget / downtime target / dirty-delta fraction.
+    migration_chunk_bytes: int = 65536
+    precopy_max_rounds: int = 4
+    precopy_downtime_target_s: float = 0.05
+    precopy_dirty_fraction: float = 0.25
     fastpath_enabled: bool = True
     #: Control-plane shards (1 = the single historical Manager).  A scenario
     #: replays to the identical MetricsDigest for any shard count -- the
@@ -279,6 +286,22 @@ class TopologySpec:
             raise ScenarioSpecError(
                 f"unknown migration strategy {self.migration_strategy!r}; valid: {MIGRATION_STRATEGIES}"
             )
+        if self.migration_chunk_bytes < 1:
+            raise ScenarioSpecError(
+                f"migration_chunk_bytes must be >= 1, got {self.migration_chunk_bytes}"
+            )
+        if self.precopy_max_rounds < 1:
+            raise ScenarioSpecError(
+                f"precopy_max_rounds must be >= 1, got {self.precopy_max_rounds}"
+            )
+        if self.precopy_downtime_target_s <= 0:
+            raise ScenarioSpecError(
+                f"precopy_downtime_target_s must be positive, got {self.precopy_downtime_target_s}"
+            )
+        if not 0.0 < self.precopy_dirty_fraction < 1.0:
+            raise ScenarioSpecError(
+                f"precopy_dirty_fraction must be in (0, 1), got {self.precopy_dirty_fraction}"
+            )
         if self.shard_count < 1:
             raise ScenarioSpecError(f"shard_count must be >= 1, got {self.shard_count}")
 
@@ -290,6 +313,10 @@ class TopologySpec:
             "server_count": self.server_count,
             "station_profile": self.station_profile,
             "migration_strategy": self.migration_strategy,
+            "migration_chunk_bytes": self.migration_chunk_bytes,
+            "precopy_max_rounds": self.precopy_max_rounds,
+            "precopy_downtime_target_s": self.precopy_downtime_target_s,
+            "precopy_dirty_fraction": self.precopy_dirty_fraction,
             "fastpath_enabled": self.fastpath_enabled,
             "shard_count": self.shard_count,
             "uplink_bandwidth_bps": self.uplink_bandwidth_bps,
