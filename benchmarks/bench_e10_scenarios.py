@@ -101,3 +101,31 @@ def test_e10_scenario_matrix(benchmark, record_experiment, e10_shard_counts):
     assert by_name["commuter-rush"]["handovers"] >= 10
     assert by_name["rolling-failure"]["migrations"] >= 1
     assert by_name["chaos-soak"]["faults"] >= 5
+
+
+#: Scenarios whose placement decisions legitimately differ by strategy:
+#: hotspot-stadium saturates a station (that divergence is benchmark E11's
+#: subject) and autoscale-daily-wave runs the autoscaler, whose replica and
+#: rebalance targets depend on where placement put the wave chains.
+_STRATEGY_VARIANT = {"hotspot-stadium", "autoscale-daily-wave"}
+
+
+def test_e10_placement_strategy_digest_invariance(benchmark):
+    """The load-aware strategies prefer the client's station until it is
+    loaded, so on the unsaturated canned library (autoscaling off) every
+    strategy must replay to the identical digest as the default."""
+
+    def run_matrix():
+        failures = []
+        for name in scenario_names():
+            if name in _STRATEGY_VARIANT:
+                continue
+            base = run_scenario(name, seed=SEED)
+            for strategy in ("least-loaded", "bin-packing"):
+                other = run_scenario(name, seed=SEED, placement_strategy=strategy)
+                if other.digest != base.digest:
+                    failures.append((name, strategy, base.digest.diff(other.digest)))
+        return failures
+
+    failures = run_once(benchmark, run_matrix)
+    assert not failures, failures

@@ -49,6 +49,12 @@ def pytest_addoption(parser):
         default="1,4",
         help="Comma-separated shard counts for the E10 determinism matrix (default: 1,4)",
     )
+    group.addoption(
+        "--e11-crowd",
+        type=int,
+        default=0,
+        help="Crowd size for the E11 placement bench (0 = the scenario's canonical 20)",
+    )
 
 
 @pytest.fixture

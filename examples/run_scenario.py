@@ -8,12 +8,14 @@ Usage::
     python examples/run_scenario.py chaos-soak --seed 7
     python examples/run_scenario.py rolling-failure --check-determinism
     python examples/run_scenario.py commuter-rush --shards 4 --check-determinism
+    python examples/run_scenario.py hotspot-stadium --placement least-loaded
 
 ``--check-determinism`` runs the scenario twice under the same seed and
 exits non-zero if the two telemetry digests differ (the CI smoke matrix
 uses this as its regression gate).  ``--shards`` overrides the
 control-plane shard count; with ``--check-determinism`` the replay runs
-*unsharded*, so the check also proves shard-count invariance.
+*unsharded* (but keeps any ``--placement``/``--strategy`` override), so
+the check also proves shard-count invariance.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ import argparse
 import sys
 
 from repro.scenarios import build_scenario, run_scenario, scenario_names
+from repro.scenarios.spec import PLACEMENT_STRATEGIES
 
 
 def _print_result(result) -> None:
@@ -56,6 +59,12 @@ def main(argv=None) -> int:
         default=None,
         help="migration strategy override (default: the scenario's own setting)",
     )
+    parser.add_argument(
+        "--placement",
+        choices=list(PLACEMENT_STRATEGIES),
+        default=None,
+        help="placement strategy override (default: the scenario's own setting)",
+    )
     parser.add_argument("--list", action="store_true", help="list canned scenarios and exit")
     parser.add_argument(
         "--check-determinism",
@@ -76,6 +85,7 @@ def main(argv=None) -> int:
         seed=args.seed,
         shard_count=args.shards,
         migration_strategy=args.strategy,
+        placement_strategy=args.placement,
     )
     _print_result(result)
     if not result.drained:
@@ -87,7 +97,12 @@ def main(argv=None) -> int:
     if args.check_determinism:
         # Replay unsharded: digests must match across both replays *and*
         # shard counts, so one comparison checks both properties.
-        again = run_scenario(args.scenario, seed=args.seed, migration_strategy=args.strategy)
+        again = run_scenario(
+            args.scenario,
+            seed=args.seed,
+            migration_strategy=args.strategy,
+            placement_strategy=args.placement,
+        )
         if result.digest != again.digest:
             print(
                 f"ERROR: scenario {args.scenario!r} is NOT deterministic; "

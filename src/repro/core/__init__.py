@@ -10,8 +10,9 @@
 * :mod:`repro.core.repository` -- the central NF image catalogue.
 * :mod:`repro.core.chain` / :mod:`repro.core.policy` -- service chains and
   per-client traffic selectors.
-* :mod:`repro.core.placement` -- placement strategies (closest agent,
-  load-aware, latency-aware, core).
+* :mod:`repro.core.placement` -- the placement subsystem: strategies
+  (closest agent, least-loaded, latency-weighted, bin-packing, core...),
+  the PlacementEngine (admission control + queueing) and the NFAutoscaler.
 * :mod:`repro.core.sharding` -- the sharded control plane (ShardedManager
   frontend, ControlBus message coalescing, cross-shard handoffs).
 * :mod:`repro.core.scheduler` -- time-scheduled NF activation.
@@ -47,15 +48,24 @@ from repro.core.manager import Assignment, AssignmentState, GNFManager
 from repro.core.monitoring import HealthMonitor, Hotspot, HotspotDetector
 from repro.core.notifications import NotificationCenter, ProviderNotification
 from repro.core.placement import (
+    AdmissionPolicy,
+    BinPackingPlacement,
     ClosestAgentPlacement,
     CorePlacement,
     LatencyAwarePlacement,
+    LatencyWeightedPlacement,
+    LeastLoadedPlacement,
     LoadAwarePlacement,
+    NFAutoscaler,
+    PlacementDecision,
+    PlacementEngine,
+    ScaleEvent,
     StationView,
+    make_strategy,
 )
 from repro.core.policy import TrafficSelector
 from repro.core.repository import CatalogEntry, NFRepository
-from repro.core.roaming import MigrationRecord, RoamingCoordinator
+from repro.core.roaming import MigrationEngine, MigrationRecord, RoamingCoordinator
 from repro.core.scheduler import NFScheduler, ScheduleWindow, TimeSchedule
 from repro.core.sharding import ControlBus, ShardedManager, ShardHandoff, StationShardMap
 from repro.core.testbed import GNFTestbed, TestbedConfig
@@ -74,6 +84,7 @@ __all__ = [
     "AssignmentState",
     "GNFDashboard",
     "RoamingCoordinator",
+    "MigrationEngine",
     "MigrationRecord",
     "NFRepository",
     "CatalogEntry",
@@ -86,8 +97,17 @@ __all__ = [
     "ClosestAgentPlacement",
     "LoadAwarePlacement",
     "LatencyAwarePlacement",
+    "LeastLoadedPlacement",
+    "LatencyWeightedPlacement",
+    "BinPackingPlacement",
     "CorePlacement",
+    "PlacementEngine",
+    "PlacementDecision",
+    "AdmissionPolicy",
+    "NFAutoscaler",
+    "ScaleEvent",
     "StationView",
+    "make_strategy",
     "HealthMonitor",
     "HotspotDetector",
     "Hotspot",

@@ -34,7 +34,11 @@ from repro.core.chain import ServiceChain
 from repro.core.errors import UnknownAgentError, UnknownAssignmentError, UnknownClientError
 from repro.core.monitoring import HealthMonitor, HotspotDetector
 from repro.core.notifications import NotificationCenter, ProviderNotification
-from repro.core.placement import ClosestAgentPlacement, PlacementStrategy, StationView
+from repro.core.placement import (
+    PlacementEngine,
+    PlacementStrategy,
+    StationView,
+)
 from repro.core.policy import TrafficSelector
 from repro.core.repository import NFRepository
 from repro.core.scheduler import NFScheduler, TimeSchedule
@@ -84,6 +88,28 @@ class Assignment:
 
 
 ClientEventListener = Callable[[ClientEvent], None]
+
+
+def make_assignment(
+    now: float,
+    client_ip: str,
+    chain: ServiceChain,
+    selector: Optional[TrafficSelector],
+    schedule: Optional[TimeSchedule],
+    station_name: str,
+) -> Assignment:
+    """Build a fresh Assignment record (shared by Manager and frontend)."""
+    assignment = Assignment(
+        assignment_id=f"asg-{next(_assignment_ids):04d}",
+        client_ip=client_ip,
+        chain=chain,
+        selector=selector or TrafficSelector.all_traffic(),
+        schedule=schedule or TimeSchedule.always(),
+        station_name=station_name,
+        requested_at=now,
+    )
+    assignment.station_history.append(station_name)
+    return assignment
 
 
 def track_client_event(owner, event: ClientEvent) -> None:
@@ -151,11 +177,23 @@ class GNFManager:
         topology: Optional[EdgeTopology] = None,
         placement: Optional[PlacementStrategy] = None,
         heartbeat_timeout_s: float = 10.0,
+        placement_engine: Optional[PlacementEngine] = None,
     ) -> None:
         self.simulator = simulator
         self.repository = repository or NFRepository.with_default_catalog()
         self.topology = topology
-        self.placement: PlacementStrategy = placement or ClosestAgentPlacement()
+        # The placement subsystem: ``placement`` keeps the historical
+        # strategy-object knob; a fully configured engine (admission control,
+        # custom pending-commitment TTL) can be passed instead.
+        self.placement_engine = placement_engine or PlacementEngine(
+            simulator, strategy=placement, repository=self.repository
+        )
+        self.placement_engine.bind(
+            views=self.station_views,
+            on_admit=self._deploy_queued_assignment,
+            on_timeout=self._fail_queued_assignment,
+            locate=lambda client_ip: self.client_locations.get(client_ip),
+        )
         self.agents: Dict[str, GNFAgent] = {}
         self.channels: Dict[str, ControlChannel] = {}
         self.assignments: Dict[str, Assignment] = {}
@@ -174,6 +212,15 @@ class GNFManager:
         self._client_event_listeners: List[ClientEventListener] = []
         self.heartbeats_processed = 0
         self.client_events_processed = 0
+
+    @property
+    def placement(self) -> PlacementStrategy:
+        """The active placement strategy (delegates to the engine)."""
+        return self.placement_engine.strategy
+
+    @placement.setter
+    def placement(self, strategy: PlacementStrategy) -> None:
+        self.placement_engine.strategy = strategy
 
     # --------------------------------------------------------- registration
 
@@ -239,30 +286,60 @@ class GNFManager:
     ) -> Assignment:
         """Associate a chain with a subset of the client's traffic.
 
-        The chain is placed according to the configured placement strategy
-        (the paper's default: the station the client is attached to) and the
-        deployment is dispatched to that station's Agent.
+        The chain is placed by the :class:`PlacementEngine` (the paper's
+        default strategy: the station the client is attached to) and the
+        deployment is dispatched to that station's Agent.  With admission
+        control enabled, a chain aimed at a saturated station is queued
+        (assignment stays ``PENDING`` until capacity frees) or failed
+        outright when queueing is off -- inspect ``assignment.state``.
         """
         client_station = station_name or self.client_locations.get(client_ip)
         if client_station is None:
             raise UnknownClientError(
                 f"client {client_ip!r} has no known location; pass station_name explicitly"
             )
-        chosen_station = self.placement.choose(client_station, self.station_views(client_station))
-        assignment = Assignment(
-            assignment_id=f"asg-{next(_assignment_ids):04d}",
-            client_ip=client_ip,
-            chain=chain,
-            selector=selector or TrafficSelector.all_traffic(),
-            schedule=schedule or TimeSchedule.always(),
-            station_name=chosen_station,
-            requested_at=self.simulator.now,
+        decision = self.placement_engine.place(
+            client_station, self.station_views(client_station), chain
         )
-        assignment.station_history.append(chosen_station)
+        assignment = make_assignment(
+            self.simulator.now, client_ip, chain, selector, schedule, decision.station_name
+        )
+        self.assignments[assignment.assignment_id] = assignment
+        if decision.admitted:
+            self._dispatch_deployment(assignment)
+            self.scheduler.add(assignment.assignment_id, assignment.schedule, currently_active=True)
+        elif decision.queued:
+            self.placement_engine.enqueue(assignment, client_station, chain)
+        else:
+            assignment.state = AssignmentState.FAILED
+            assignment.failure_reason = decision.reason
+        return assignment
+
+    def accept_placed_assignment(self, assignment: Assignment) -> None:
+        """Register and deploy an assignment placed (and admitted) elsewhere.
+
+        Used by the sharded frontend, which runs global placement/admission
+        itself and hands each admitted assignment to the shard owning the
+        chosen station.
+        """
         self.assignments[assignment.assignment_id] = assignment
         self._dispatch_deployment(assignment)
         self.scheduler.add(assignment.assignment_id, assignment.schedule, currently_active=True)
-        return assignment
+
+    def _deploy_queued_assignment(self, assignment: Assignment, station_name: str) -> None:
+        """Engine callback: a queued placement finally found capacity."""
+        if assignment.state is not AssignmentState.PENDING:
+            return  # detached (or failed) while waiting in the queue
+        assignment.station_name = station_name
+        assignment.station_history[-1] = station_name
+        self._dispatch_deployment(assignment)
+        self.scheduler.add(assignment.assignment_id, assignment.schedule, currently_active=True)
+
+    def _fail_queued_assignment(self, assignment: Assignment, reason: str) -> None:
+        """Engine callback: a queued placement timed out."""
+        if assignment.state is AssignmentState.PENDING:
+            assignment.state = AssignmentState.FAILED
+            assignment.failure_reason = reason
 
     def attach_nf(
         self,
@@ -285,9 +362,14 @@ class GNFManager:
     def detach(self, assignment_id: str) -> Assignment:
         """Remove a client's chain from wherever it currently runs."""
         assignment = self._assignment(assignment_id)
-        agent = self.agent(assignment.station_name)
-        channel = self.channels[assignment.station_name]
-        channel.call(agent.remove_chain, assignment_id)
+        was_queued = self.placement_engine.cancel(assignment_id)
+        if not was_queued:
+            # Deployed (or deploying) somewhere: tear the chain down there.
+            # A still-queued assignment never reached an Agent, so there is
+            # nothing to remove.
+            agent = self.agent(assignment.station_name)
+            channel = self.channels[assignment.station_name]
+            channel.call(agent.remove_chain, assignment_id)
         assignment.state = AssignmentState.REMOVED
         self.scheduler.remove(assignment_id)
         # Release any roaming state staged for this assignment (captured NF
@@ -459,8 +541,15 @@ class GNFManager:
         return [a for a in self.assignments.values() if a.client_ip == client_ip]
 
     def station_views(self, client_station: Optional[str] = None) -> List[StationView]:
-        """What the placement strategy sees for every registered station."""
+        """What the placement strategy sees for every registered station.
+
+        Resource figures come from the station's latest heartbeat (the live
+        runtime before the first one arrives); chain density and uplink
+        utilization are read from the Agent and topology directly.  Views
+        are value objects -- strategies may score them freely.
+        """
         views: List[StationView] = []
+        now = self.simulator.now
         for station_name, agent in self.agents.items():
             heartbeat = self.last_heartbeat.get(station_name)
             resources = heartbeat.resources if heartbeat else agent.runtime.utilization()
@@ -469,6 +558,13 @@ class GNFManager:
                 client_latency = self.topology.station_to_station_latency(client_station, station_name)
             else:
                 client_latency = 0.0 if station_name == client_station else 0.01
+            uplink_utilization = 0.0
+            if self.topology is not None and now > 0:
+                uplink = self.topology.uplink_links.get(station_name)
+                if uplink is not None and uplink.bandwidth_bps > 0:
+                    uplink_utilization = min(
+                        1.0, uplink.total_stats.tx_bytes * 8 / (uplink.bandwidth_bps * now)
+                    )
             views.append(
                 StationView(
                     name=station_name,
@@ -477,6 +573,12 @@ class GNFManager:
                     running_nfs=int(resources.get("containers_running", 0)),
                     control_latency_s=control_latency,
                     client_latency_s=client_latency,
+                    allocatable_memory_mb=float(resources.get("allocatable_memory_mb", 0.0)),
+                    containers_total=int(resources.get("containers_total", 0)),
+                    chains=len(agent.deployments),
+                    cpu_seconds=float(resources.get("total_cpu_seconds", 0.0)),
+                    uplink_utilization=uplink_utilization,
+                    admission_failures=int(resources.get("admission_failures", 0)),
                 )
             )
         return views

@@ -1,29 +1,66 @@
-"""NF placement strategies.
+"""The placement subsystem: strategies, admission control and autoscaling.
 
-Section 3: "the Manager notifies the closest Agent".  The reproduction keeps
-placement pluggable so the E4 benchmark can ablate the choice:
+Section 3: "the Manager notifies the closest Agent".  The original
+reproduction kept that one-liner pluggable so benchmark E4 could ablate the
+choice; this module promotes placement into a full subsystem:
 
-* :class:`ClosestAgentPlacement` -- the paper's behaviour: place the NF on
-  the station the client is attached to.
-* :class:`LoadAwarePlacement` -- among stations within a latency bound of
-  the client, pick the one with the most free memory (avoids hotspots).
-* :class:`LatencyAwarePlacement` -- explicitly minimise client-to-NF latency
-  using the topology graph (falls back to the attachment station).
-* :class:`CorePlacement` -- always place at a designated core/central
-  station; this is the "centralised NFV" baseline's strategy.
+* :class:`StationView` -- the live telemetry snapshot a strategy scores
+  (memory, container slots, chain density, uplink utilization).
+* Pluggable :class:`PlacementStrategy` objects.  The paper's
+  :class:`ClosestAgentPlacement` stays the default; the load-aware family
+  (:class:`LeastLoadedPlacement`, :class:`LatencyWeightedPlacement`,
+  :class:`BinPackingPlacement`) prefers the client's own station until it is
+  actually loaded, so an unloaded deployment behaves exactly like the paper
+  regardless of the configured strategy (the digest-invariance the E10
+  matrix asserts) and the strategies only diverge under pressure -- which
+  benchmark E11 measures with the ``hotspot-stadium`` scenario.
+* :class:`PlacementEngine` -- the Manager-facing facade: runs the strategy
+  over pending-commitment-adjusted views, applies :class:`AdmissionPolicy`
+  (reject or queue deployments aimed at saturated stations, retry queued
+  ones as capacity frees, time them out), and keeps the placement counters.
+* :class:`NFAutoscaler` -- watches per-station utilization and scales hot
+  chains horizontally: replica chains (fronted by a ``load-balancer`` NF)
+  boot on nearby under-loaded stations, are drained again when the hotspot
+  cools, and -- when a chain is already at its replica budget -- whole
+  assignments are rebalanced away through the existing
+  :class:`~repro.core.migration.MigrationEngine`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Protocol
 
+from repro.core.api import ClientEvent
+from repro.core.chain import NFSpec, ServiceChain
 from repro.core.errors import DeploymentError
+from repro.netem.simulator import PeriodicTask, Simulator
 
 
 @dataclass
 class StationView:
-    """What the Manager knows about a station when placing an NF."""
+    """What the Manager knows about one station when placing an NF.
+
+    Views are produced by ``GNFManager.station_views()`` (merged across
+    shards by a ``ShardedManager``) from the latest Agent heartbeat, falling
+    back to the live runtime when no heartbeat has arrived yet.  All fields
+    beyond the original six are optional so hand-built views in tests and
+    benchmarks keep working.
+
+    :ivar name: station name (``station-1`` ...).
+    :ivar free_memory_mb: memory still allocatable to NF containers.
+    :ivar memory_utilization: allocated / allocatable fraction (0..1).
+    :ivar running_nfs: running NF containers (the "container slots" in use).
+    :ivar control_latency_s: one-way Manager->station control latency.
+    :ivar client_latency_s: one-way latency from the *client's* station.
+    :ivar allocatable_memory_mb: total memory the runtime may hand to NFs.
+    :ivar containers_total: containers the runtime tracks (any state).
+    :ivar chains: chain deployments currently hosted (chain density).
+    :ivar cpu_seconds: cumulative CPU seconds charged by hosted NFs.
+    :ivar uplink_utilization: lifetime-average uplink usage fraction (0..1).
+    :ivar admission_failures: container admissions the runtime has refused.
+    """
 
     name: str
     free_memory_mb: float
@@ -31,15 +68,56 @@ class StationView:
     running_nfs: int
     control_latency_s: float
     client_latency_s: float
+    allocatable_memory_mb: float = 0.0
+    containers_total: int = 0
+    chains: int = 0
+    cpu_seconds: float = 0.0
+    uplink_utilization: float = 0.0
+    admission_failures: int = 0
+
+    def load_score(self) -> float:
+        """Composite load in ~[0, 1.1]: memory pressure dominates, uplink
+        pressure and chain density break ties between memory-similar
+        stations (documented so strategy comparisons are explainable)."""
+        return (
+            self.memory_utilization
+            + 0.1 * min(1.0, self.uplink_utilization)
+            + 0.01 * self.chains
+        )
 
 
 class PlacementStrategy(Protocol):
-    """Chooses a station for a client's chain."""
+    """Chooses a station for a client's chain.
+
+    ``choose`` receives the station the client is attached to and one view
+    per candidate station.  A strategy that wants the chain's estimated
+    memory footprint implements ``choose_sized(client_station, candidates,
+    required_mb)`` instead; the engine calls it when present.
+    """
 
     name: str
 
     def choose(self, client_station: str, candidates: List[StationView]) -> str:
         """Return the chosen station name."""
+
+
+def _require_candidates(candidates: List[StationView]) -> None:
+    if not candidates:
+        raise DeploymentError("no candidate stations")
+
+
+def station_fits(
+    view: StationView, required_mb: float, max_utilization: float, headroom_mb: float
+) -> bool:
+    """The one saturation predicate: can ``required_mb`` more land here?
+
+    Shared by bin-packing placement and admission control so the strategy
+    and the gate can never disagree about what "fits" means.
+    """
+    return (
+        view.free_memory_mb >= required_mb + headroom_mb
+        and view.memory_utilization <= max_utilization
+    )
 
 
 class ClosestAgentPlacement:
@@ -55,7 +133,12 @@ class ClosestAgentPlacement:
 
 
 class LoadAwarePlacement:
-    """Pick the least-loaded station within a latency budget of the client."""
+    """Pick the station with the most free memory within a latency budget.
+
+    Unlike :class:`LeastLoadedPlacement` this legacy strategy never prefers
+    the client's own station, so it spreads chains even on an idle
+    deployment (kept for the E4 ablation).
+    """
 
     name = "load-aware"
 
@@ -64,8 +147,7 @@ class LoadAwarePlacement:
         self.min_free_memory_mb = min_free_memory_mb
 
     def choose(self, client_station: str, candidates: List[StationView]) -> str:
-        if not candidates:
-            raise DeploymentError("no candidate stations")
+        _require_candidates(candidates)
         eligible = [
             candidate
             for candidate in candidates
@@ -83,8 +165,7 @@ class LatencyAwarePlacement:
     name = "latency-aware"
 
     def choose(self, client_station: str, candidates: List[StationView]) -> str:
-        if not candidates:
-            raise DeploymentError("no candidate stations")
+        _require_candidates(candidates)
         best = min(candidates, key=lambda candidate: (candidate.client_latency_s, -candidate.free_memory_mb))
         return best.name
 
@@ -102,3 +183,818 @@ class CorePlacement:
             if candidate.name == self.core_station:
                 return self.core_station
         raise DeploymentError(f"core station {self.core_station!r} is not a known candidate")
+
+
+class LeastLoadedPlacement:
+    """Stay at the client's station until it is loaded, then spread.
+
+    Below ``prefer_local_below`` (composite :meth:`StationView.load_score`)
+    the client's own station wins -- the paper's behaviour, and what keeps
+    an unloaded deployment digest-identical to ``closest-agent``.  Above it,
+    the least-loaded candidate within ``latency_budget_s`` of the client is
+    chosen (ties broken by latency, then name, so the choice is
+    deterministic across shard counts).
+    """
+
+    name = "least-loaded"
+
+    def __init__(self, latency_budget_s: float = 0.05, prefer_local_below: float = 0.6) -> None:
+        self.latency_budget_s = latency_budget_s
+        self.prefer_local_below = prefer_local_below
+
+    def choose(self, client_station: str, candidates: List[StationView]) -> str:
+        _require_candidates(candidates)
+        local = next((c for c in candidates if c.name == client_station), None)
+        if local is not None and local.load_score() < self.prefer_local_below:
+            return client_station
+        eligible = [c for c in candidates if c.client_latency_s <= self.latency_budget_s]
+        pool = eligible or candidates
+        best = min(pool, key=lambda c: (c.load_score(), c.client_latency_s, c.name))
+        return best.name
+
+
+class LatencyWeightedPlacement:
+    """Minimise ``client_latency + load_weight * load_score``.
+
+    With the default weight an off-station candidate one backhaul hop away
+    (0.01 s) only wins once the local station is ~0.5 load-score units
+    hotter, so light deployments keep the paper's closest-agent behaviour
+    while saturated stations shed load to near neighbours first.
+    """
+
+    name = "latency-weighted"
+
+    def __init__(self, load_weight_s: float = 0.02) -> None:
+        self.load_weight_s = load_weight_s
+
+    def choose(self, client_station: str, candidates: List[StationView]) -> str:
+        _require_candidates(candidates)
+        best = min(
+            candidates,
+            key=lambda c: (c.client_latency_s + self.load_weight_s * c.load_score(), c.name),
+        )
+        return best.name
+
+
+class BinPackingPlacement:
+    """First-fit-decreasing packing: use as few stations as possible.
+
+    The client's station wins while the chain still fits there.  Once it is
+    full, the chain is packed onto the *most* loaded station that still fits
+    it (so spare stations stay empty for e.g. scheduled scale-out), falling
+    back to the least-loaded station when nothing fits.  ``choose_sized``
+    receives the engine's chain-memory estimate; the plain ``choose`` path
+    assumes a zero-size chain.
+    """
+
+    name = "bin-packing"
+
+    def __init__(self, max_utilization: float = 0.85, headroom_mb: float = 4.0) -> None:
+        self.max_utilization = max_utilization
+        self.headroom_mb = headroom_mb
+
+    def _fits(self, candidate: StationView, required_mb: float) -> bool:
+        return station_fits(candidate, required_mb, self.max_utilization, self.headroom_mb)
+
+    def choose(self, client_station: str, candidates: List[StationView]) -> str:
+        return self.choose_sized(client_station, candidates, 0.0)
+
+    def choose_sized(
+        self, client_station: str, candidates: List[StationView], required_mb: float
+    ) -> str:
+        _require_candidates(candidates)
+        local = next((c for c in candidates if c.name == client_station), None)
+        if local is not None and self._fits(local, required_mb):
+            return client_station
+        fitting = [c for c in candidates if self._fits(c, required_mb)]
+        if fitting:
+            best = max(fitting, key=lambda c: (c.load_score(), -c.client_latency_s, c.name))
+            return best.name
+        best = min(candidates, key=lambda c: (c.load_score(), c.client_latency_s, c.name))
+        return best.name
+
+
+#: Strategy names accepted by :func:`make_strategy` (and by the
+#: ``TestbedConfig.placement_strategy`` / ``TopologySpec.placement_strategy``
+#: knobs and the ``run_scenario.py --placement`` CLI flag).
+STRATEGY_FACTORIES: Dict[str, Callable[[], PlacementStrategy]] = {
+    "closest-agent": ClosestAgentPlacement,
+    "least-loaded": LeastLoadedPlacement,
+    "latency-weighted": LatencyWeightedPlacement,
+    "bin-packing": BinPackingPlacement,
+    "load-aware": LoadAwarePlacement,
+    "latency-aware": LatencyAwarePlacement,
+}
+
+
+def make_strategy(name: str) -> PlacementStrategy:
+    """Build a placement strategy from its registry name."""
+    try:
+        factory = STRATEGY_FACTORIES[name]
+    except KeyError as exc:
+        raise DeploymentError(
+            f"unknown placement strategy {name!r}; valid: {sorted(STRATEGY_FACTORIES)}"
+        ) from exc
+    return factory()
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AdmissionPolicy:
+    """When (and how) the engine refuses deployments to saturated stations.
+
+    Disabled by default: every placement is admitted and the engine behaves
+    exactly like the historical strategy-only code path (no extra simulator
+    events, identical digests).  When enabled, a placement whose chosen
+    station cannot fit the chain is *queued* (``queue=True``) and retried
+    every ``retry_interval_s`` until capacity frees or ``queue_timeout_s``
+    expires (the assignment then fails with an admission-timeout reason), or
+    rejected outright (``queue=False`` -- the assignment fails immediately).
+    """
+
+    enabled: bool = False
+    max_utilization: float = 0.85
+    headroom_mb: float = 4.0
+    queue: bool = True
+    retry_interval_s: float = 1.0
+    queue_timeout_s: float = 30.0
+    queue_limit: int = 1024
+
+
+@dataclass
+class PlacementDecision:
+    """One placement verdict: where, and whether the deployment may proceed."""
+
+    station_name: str
+    admitted: bool
+    queued: bool = False
+    reason: str = ""
+    required_mb: float = 0.0
+
+
+class _QueuedPlacement:
+    __slots__ = ("assignment", "client_station", "chain", "enqueued_at")
+
+    def __init__(self, assignment, client_station: str, chain, enqueued_at: float) -> None:
+        self.assignment = assignment
+        self.client_station = client_station
+        self.chain = chain
+        self.enqueued_at = enqueued_at
+
+
+class PlacementEngine:
+    """The Manager's placement subsystem.
+
+    One engine serves one Manager (each shard of a ``ShardedManager`` gets a
+    trivial engine; the frontend's engine sees the *global* station view).
+    Responsibilities:
+
+    * run the configured :class:`PlacementStrategy` over candidate
+      :class:`StationView`\\ s, adjusted for **pending commitments** --
+      placements decided in the last ``pending_ttl_s`` seconds whose
+      containers have not yet shown up in heartbeats, so a same-tick attach
+      burst cannot pile every chain onto one stale-looking station.  Keep
+      the TTL near the heartbeat interval: it only has to cover the
+      telemetry blind window, and a longer TTL double-counts chains that
+      heartbeats already report;
+    * apply the :class:`AdmissionPolicy`: queue or reject deployments whose
+      chosen station is saturated, retry queued ones periodically, and time
+      them out;
+    * keep the placement counters surfaced by ``stats()`` (local vs remote
+      placements, rejections, queue depth high-water).
+
+    The engine is wired to its Manager with :meth:`bind`; the callbacks keep
+    this module free of Manager imports.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        strategy: Optional[PlacementStrategy] = None,
+        repository=None,
+        admission: Optional[AdmissionPolicy] = None,
+        pending_ttl_s: float = 3.0,
+    ) -> None:
+        self.simulator = simulator
+        self.strategy: PlacementStrategy = strategy or ClosestAgentPlacement()
+        self.repository = repository
+        self.admission = admission or AdmissionPolicy()
+        self.pending_ttl_s = pending_ttl_s
+        # (expires_at, station, mb) commitments not yet visible in telemetry.
+        self._pending: List[tuple] = []
+        self._queue: List[_QueuedPlacement] = []
+        self._task: Optional[PeriodicTask] = None
+        self._views_provider: Optional[Callable[[Optional[str]], List[StationView]]] = None
+        self._on_admit: Optional[Callable[[object, str], None]] = None
+        self._on_timeout: Optional[Callable[[object, str], None]] = None
+        self._locate: Optional[Callable[[str], Optional[str]]] = None
+        self.placements = 0
+        self.local_placements = 0
+        self.remote_placements = 0
+        self.rejections = 0
+        self.retry_probes = 0
+        self.queued_total = 0
+        self.queue_timeouts = 0
+        self.dispatched_from_queue = 0
+        self.queue_high_water = 0
+
+    # --------------------------------------------------------------- wiring
+
+    def bind(
+        self,
+        views: Callable[[Optional[str]], List[StationView]],
+        on_admit: Callable[[object, str], None],
+        on_timeout: Callable[[object, str], None],
+        locate: Optional[Callable[[str], Optional[str]]] = None,
+    ) -> None:
+        """Attach the owning Manager's callbacks (one-time wiring).
+
+        ``views(client_station)`` must return fresh candidate views;
+        ``on_admit(assignment, station)`` dispatches a queued assignment
+        that finally got capacity; ``on_timeout(assignment, reason)`` fails
+        one whose queue time expired.  ``locate(client_ip)`` returns the
+        client's *current* station so queue retries follow a client that
+        roamed while its placement waited.
+        """
+        self._views_provider = views
+        self._on_admit = on_admit
+        self._on_timeout = on_timeout
+        self._locate = locate
+
+    # ---------------------------------------------------------- chain sizing
+
+    def chain_memory_mb(self, chain) -> float:
+        """Estimated memory footprint of a chain (catalogue defaults)."""
+        if chain is None or self.repository is None:
+            return 0.0
+        return sum(self.nf_memory_mb(spec.nf_type) for spec in chain.specs)
+
+    def nf_memory_mb(self, nf_type: str) -> float:
+        """Catalogue default memory for one NF type (0 when unknown)."""
+        if self.repository is None or nf_type not in self.repository:
+            return 0.0
+        return self.repository.lookup(nf_type).image.default_memory_mb
+
+    # ------------------------------------------------------------- placement
+
+    def _prune_pending(self) -> None:
+        now = self.simulator.now
+        self._pending = [entry for entry in self._pending if entry[0] > now]
+
+    def _adjusted(self, candidates: List[StationView]) -> List[StationView]:
+        """Candidate views with un-expired placement commitments applied."""
+        if not self._pending:
+            return candidates
+        pending_mb: Dict[str, float] = {}
+        for _, station, mb in self._pending:
+            pending_mb[station] = pending_mb.get(station, 0.0) + mb
+        adjusted: List[StationView] = []
+        for view in candidates:
+            extra = pending_mb.get(view.name, 0.0)
+            if extra <= 0.0:
+                adjusted.append(view)
+                continue
+            allocatable = view.allocatable_memory_mb or (
+                view.free_memory_mb / max(1e-9, 1.0 - view.memory_utilization)
+                if view.memory_utilization < 1.0
+                else view.free_memory_mb
+            )
+            free = max(0.0, view.free_memory_mb - extra)
+            utilization = (
+                min(1.0, (allocatable - free) / allocatable) if allocatable > 0 else view.memory_utilization
+            )
+            adjusted.append(replace(view, free_memory_mb=free, memory_utilization=utilization))
+        return adjusted
+
+    def _admits(self, view: StationView, required_mb: float) -> bool:
+        policy = self.admission
+        return station_fits(view, required_mb, policy.max_utilization, policy.headroom_mb)
+
+    def place(
+        self,
+        client_station: str,
+        candidates: List[StationView],
+        chain=None,
+        _retry: bool = False,
+    ) -> PlacementDecision:
+        """Choose a station for ``chain`` and apply admission control.
+
+        Pure decision logic: no simulator events are scheduled and nothing
+        is mutated beyond the engine's own counters/ledger, so with the
+        default strategy and admission off this is behaviour-identical to
+        the pre-engine ``strategy.choose`` call.
+        """
+        self._prune_pending()
+        required_mb = self.chain_memory_mb(chain)
+        views = self._adjusted(candidates)
+        choose_sized = getattr(self.strategy, "choose_sized", None)
+        if choose_sized is not None:
+            chosen = choose_sized(client_station, views, required_mb)
+        else:
+            chosen = self.strategy.choose(client_station, views)
+        if self.admission.enabled:
+            chosen_view = next((view for view in views if view.name == chosen), None)
+            if chosen_view is None or not self._admits(chosen_view, required_mb):
+                # Queue retries are probes, not fresh refusals: count them
+                # separately so `rejections` means "deployments refused".
+                if _retry:
+                    self.retry_probes += 1
+                else:
+                    self.rejections += 1
+                queued = self.admission.queue and len(self._queue) < self.admission.queue_limit
+                return PlacementDecision(
+                    station_name=chosen,
+                    admitted=False,
+                    queued=queued,
+                    reason=(
+                        f"station {chosen} saturated "
+                        f"(free={chosen_view.free_memory_mb:.1f} MB, "
+                        f"required={required_mb:.1f} MB)"
+                        if chosen_view is not None
+                        else f"station {chosen} has no view"
+                    ),
+                    required_mb=required_mb,
+                )
+        self._commit(chosen, required_mb)
+        self.placements += 1
+        if chosen == client_station:
+            self.local_placements += 1
+        else:
+            self.remote_placements += 1
+        return PlacementDecision(station_name=chosen, admitted=True, required_mb=required_mb)
+
+    def _commit(self, station: str, required_mb: float) -> None:
+        if required_mb > 0.0:
+            self._pending.append((self.simulator.now + self.pending_ttl_s, station, required_mb))
+
+    def commit(self, station: str, required_mb: float) -> None:
+        """Book memory against a station outside :meth:`place`.
+
+        Used by the autoscaler for replica and rebalance targets, so its
+        deployments are visible to concurrent placement decisions during
+        the telemetry blind window (and vice versa).
+        """
+        self._commit(station, required_mb)
+
+    def adjusted_views(self, candidates: List[StationView]) -> List[StationView]:
+        """Candidate views with all un-expired commitments applied."""
+        self._prune_pending()
+        return self._adjusted(candidates)
+
+    # ----------------------------------------------------------------- queue
+
+    def enqueue(self, assignment, client_station: str, chain) -> None:
+        """Park a not-admitted assignment until capacity frees (or timeout)."""
+        self._queue.append(
+            _QueuedPlacement(assignment, client_station, chain, self.simulator.now)
+        )
+        self.queued_total += 1
+        self.queue_high_water = max(self.queue_high_water, len(self._queue))
+        if self._task is None:
+            self._task = self.simulator.every(self.admission.retry_interval_s, self._drain_queue)
+
+    def cancel(self, assignment_id: str) -> bool:
+        """Drop a queued placement (the assignment was detached)."""
+        before = len(self._queue)
+        self._queue = [entry for entry in self._queue if entry.assignment.assignment_id != assignment_id]
+        return len(self._queue) != before
+
+    def queued_assignment_ids(self) -> List[str]:
+        return [entry.assignment.assignment_id for entry in self._queue]
+
+    def _drain_queue(self) -> None:
+        """One retry pass: dispatch entries that now fit, expire stale ones."""
+        if self._views_provider is None:
+            return
+        now = self.simulator.now
+        remaining: List[_QueuedPlacement] = []
+        for entry in self._queue:
+            if now - entry.enqueued_at >= self.admission.queue_timeout_s:
+                self.queue_timeouts += 1
+                if self._on_timeout is not None:
+                    self._on_timeout(
+                        entry.assignment,
+                        f"admission queue timeout after {self.admission.queue_timeout_s:.0f}s",
+                    )
+                continue
+            # Follow a client that roamed while its placement waited: retry
+            # relative to where it is connected *now*, not where it was.
+            client_station = entry.client_station
+            if self._locate is not None:
+                client_station = (
+                    self._locate(entry.assignment.client_ip) or entry.client_station
+                )
+                entry.client_station = client_station
+            decision = self.place(
+                client_station,
+                self._views_provider(client_station),
+                entry.chain,
+                _retry=True,
+            )
+            if decision.admitted:
+                self.dispatched_from_queue += 1
+                if self._on_admit is not None:
+                    self._on_admit(entry.assignment, decision.station_name)
+            else:
+                remaining.append(entry)
+        self._queue = remaining
+        if not self._queue and self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def stop(self) -> None:
+        """End-of-run teardown: stop retrying and fail whatever is queued.
+
+        Entries still waiting would otherwise be stranded as PENDING
+        forever; failing them through the timeout callback gives post-run
+        readers an explicit state and reason.
+        """
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+        stranded, self._queue = self._queue, []
+        for entry in stranded:
+            self.queue_timeouts += 1
+            if self._on_timeout is not None:
+                self._on_timeout(entry.assignment, "run ended while queued for admission")
+
+    # ----------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, float]:
+        """Placement counters (digest-safe: no strategy name, no ids)."""
+        return {
+            "placements": float(self.placements),
+            "local_placements": float(self.local_placements),
+            "remote_placements": float(self.remote_placements),
+            "rejections": float(self.rejections),
+            "retry_probes": float(self.retry_probes),
+            "queued_total": float(self.queued_total),
+            "queue_depth": float(len(self._queue)),
+            "queue_high_water": float(self.queue_high_water),
+            "queue_timeouts": float(self.queue_timeouts),
+            "dispatched_from_queue": float(self.dispatched_from_queue),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Autoscaling
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScaleEvent:
+    """One autoscaler action (digest-safe: stations and sizes, no ids)."""
+
+    time: float
+    kind: str  # "scale-up" | "scale-down" | "rebalance"
+    from_station: str
+    to_station: str
+    nf_count: int
+
+
+@dataclass
+class _Replica:
+    """One horizontally scaled replica chain the autoscaler tracks."""
+
+    replica_id: str
+    station_name: str
+    home_station: str
+    nf_count: int
+
+
+class NFAutoscaler:
+    """Utilization-driven horizontal scaling of NF chains.
+
+    Every ``interval_s`` the autoscaler scores each station's
+    :meth:`StationView.load_score`.  A station hot for ``hot_evals``
+    consecutive evaluations gets one action per evaluation:
+
+    * **scale-up** -- the largest active chain on the hot station gains a
+      replica on the least-loaded station that can fit it.  Replica chains
+      are the original chain fronted by a ``load-balancer`` NF, deployed
+      under a derived chain id so they never collide with the assignment's
+      own deployment.
+    * **rebalance** -- when no chain on the hot station can scale out any
+      further (replica budgets spent, or the eligible targets already host
+      their replicas), the smallest assignment is migrated to the target
+      station through the existing migration engine (cold / stateful /
+      precopy, whatever the deployment is configured with), which also
+      keeps the move handoff-safe under a sharded control plane.  Replicas
+      model warm standby capacity; the rebalance migrations are what
+      actually shed load off the hot station in the emulation.
+
+    A station cold for ``hot_evals`` evaluations has one replica drained per
+    evaluation; replicas whose parent assignment disappeared are pruned
+    eagerly and :meth:`shutdown` removes the rest, so a drained scenario can
+    never leak replica containers (asserted by the round-trip tests).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        manager,
+        roaming=None,
+        interval_s: float = 5.0,
+        scale_up_threshold: float = 0.8,
+        scale_down_threshold: float = 0.4,
+        max_replicas_per_chain: int = 2,
+        rebalance: bool = True,
+        hot_evals: int = 2,
+        rebalance_cooldown_s: float = 15.0,
+    ) -> None:
+        self.simulator = simulator
+        self.manager = manager
+        self.roaming = roaming
+        self.interval_s = interval_s
+        self.scale_up_threshold = scale_up_threshold
+        self.scale_down_threshold = scale_down_threshold
+        self.max_replicas_per_chain = max_replicas_per_chain
+        self.rebalance_enabled = rebalance
+        self.hot_evals = hot_evals
+        self.rebalance_cooldown_s = rebalance_cooldown_s
+        # assignment_id -> last rebalance time (damps migration ping-pong:
+        # a moved chain makes its target warmer, which must not immediately
+        # bounce the same chain somewhere else).
+        self._last_rebalance: Dict[str, float] = {}
+        self._task: Optional[PeriodicTask] = None
+        self._ids = itertools.count(1)
+        # assignment_id -> station -> replica
+        self._replicas: Dict[str, Dict[str, _Replica]] = {}
+        self._hot_streak: Dict[str, int] = {}
+        self._cold_streak: Dict[str, int] = {}
+        self.events: List[ScaleEvent] = []
+        self.evaluations = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.rebalances = 0
+        self.replica_boot_failures = 0
+
+    # --------------------------------------------------------------- control
+
+    def start(self) -> "NFAutoscaler":
+        """Begin periodic evaluation (idempotent)."""
+        if self._task is None:
+            self._task = self.simulator.every(self.interval_s, self.evaluate)
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def shutdown(self) -> None:
+        """End-of-run cleanup: stop evaluating and tear down every replica."""
+        self.stop()
+        for assignment_id in list(self._replicas):
+            for replica in list(self._replicas.get(assignment_id, {}).values()):
+                self._remove_replica(assignment_id, replica, count_event=False)
+        self._replicas.clear()
+
+    @property
+    def active_replicas(self) -> int:
+        return sum(len(replicas) for replicas in self._replicas.values())
+
+    # ------------------------------------------------------------- evaluation
+
+    def evaluate(self) -> None:
+        """One autoscaling pass over the (shard-merged) station views."""
+        self.evaluations += 1
+        self._prune_dead_parents()
+        views = sorted(self.manager.station_views(), key=lambda view: view.name)
+        for view in views:
+            load = view.load_score()
+            if load >= self.scale_up_threshold:
+                self._hot_streak[view.name] = self._hot_streak.get(view.name, 0) + 1
+                self._cold_streak[view.name] = 0
+            elif load <= self.scale_down_threshold:
+                self._cold_streak[view.name] = self._cold_streak.get(view.name, 0) + 1
+                self._hot_streak[view.name] = 0
+            else:
+                self._hot_streak[view.name] = 0
+                self._cold_streak[view.name] = 0
+        for view in views:
+            if self._hot_streak.get(view.name, 0) >= self.hot_evals:
+                self._handle_hot_station(view, views)
+        for view in views:
+            if self._cold_streak.get(view.name, 0) >= self.hot_evals:
+                self._handle_cold_station(view.name)
+
+    def _assignments_on(self, station_name: str) -> List[object]:
+        # state compared by value to stay Manager-duck-typed (no core.manager
+        # import from this module).
+        assignments = [
+            assignment
+            for assignment in self.manager.assignments.values()
+            if assignment.station_name == station_name and assignment.state.value == "active"
+        ]
+        assignments.sort(key=lambda a: (-len(a.chain), a.assignment_id))
+        return assignments
+
+    def _pick_target(self, views: List[StationView], required_mb: float, exclude: Iterable[str]):
+        # Score commitment-adjusted views when the Manager has an engine:
+        # deployments booked in the telemetry blind window (including this
+        # autoscaler's own, from earlier in the same pass) must not make a
+        # station look emptier than it is.
+        engine = getattr(self.manager, "placement_engine", None)
+        if engine is not None:
+            views = engine.adjusted_views(views)
+        excluded = set(exclude)
+        candidates = [
+            view
+            for view in views
+            if view.name not in excluded
+            and view.load_score() < self.scale_up_threshold
+            and view.free_memory_mb >= required_mb + 4.0
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda view: (view.load_score(), view.name))
+
+    def _handle_hot_station(self, view: StationView, views: List[StationView]) -> None:
+        assignments = self._assignments_on(view.name)
+        if not assignments:
+            return
+        engine = getattr(self.manager, "placement_engine", None)
+        for assignment in assignments:
+            replicas = self._replicas.get(assignment.assignment_id, {})
+            if len(replicas) >= self.max_replicas_per_chain:
+                continue
+            # A replica costs the chain plus its load-balancer front; size
+            # both from the catalogue so the fit check and the commitment
+            # booked by _scale_up can never diverge.
+            required = (
+                engine.chain_memory_mb(assignment.chain) + engine.nf_memory_mb("load-balancer")
+                if engine
+                else 0.0
+            )
+            target = self._pick_target(views, required, exclude=(view.name,))
+            if target is None:
+                break  # no station can fit any replica this round
+            if target.name in replicas:
+                continue  # this chain already replicated there; try the next
+            self._scale_up(assignment, view.name, target.name)
+            return
+        # No chain could scale out (budgets spent or targets already host
+        # their replicas): rebalance the smallest one that has not been
+        # moved within the cooldown window.
+        if not self.rebalance_enabled or self.roaming is None:
+            return
+        now = self.simulator.now
+        movable = [
+            assignment
+            for assignment in assignments
+            if now - self._last_rebalance.get(assignment.assignment_id, -1e18)
+            >= self.rebalance_cooldown_s
+        ]
+        if not movable:
+            return
+        smallest = min(movable, key=lambda a: (len(a.chain), a.assignment_id))
+        required = engine.chain_memory_mb(smallest.chain) if engine else 0.0
+        # Never migrate a chain onto a station hosting its own replica: the
+        # replica is that chain's warm standby, and coexistence would stack
+        # two steering-rule sets for the identical selector.
+        exclude = {view.name} | set(self._replicas.get(smallest.assignment_id, {}))
+        target = self._pick_target(views, required, exclude=exclude)
+        if target is not None:
+            self._rebalance(smallest, view.name, target.name)
+
+    def _handle_cold_station(self, station_name: str) -> None:
+        # Drain one replica per evaluation whose parent lives on the cooled
+        # station (gentle scale-down; deterministic pick by assignment id).
+        for assignment_id in sorted(self._replicas):
+            assignment = self.manager.assignments.get(assignment_id)
+            if assignment is None or assignment.station_name != station_name:
+                continue
+            replicas = self._replicas[assignment_id]
+            for target_station in sorted(replicas):
+                self._remove_replica(assignment_id, replicas[target_station])
+                return
+
+    # ----------------------------------------------------------- scale up/down
+
+    def _scale_up(self, assignment, home_station: str, target_station: str) -> None:
+        agent = self.manager.agents.get(target_station)
+        channel = self.manager.channels.get(target_station)
+        if agent is None or channel is None:
+            return
+        replica_id = f"{assignment.assignment_id}-scale-{next(self._ids)}"
+        replica_chain = ServiceChain(
+            [NFSpec(nf_type="load-balancer")] + list(assignment.chain.specs),
+            name=f"{assignment.chain.name}/scale",
+        )
+        replica = _Replica(
+            replica_id=replica_id,
+            station_name=target_station,
+            home_station=home_station,
+            nf_count=len(replica_chain),
+        )
+        self._replicas.setdefault(assignment.assignment_id, {})[target_station] = replica
+
+        def on_complete(deployment, success: bool, detail: str) -> None:
+            if success:
+                return
+            # A replica that failed to boot is no replica: drop the ledger
+            # entry (the agent already rolled its containers back).
+            self.replica_boot_failures += 1
+            replicas = self._replicas.get(assignment.assignment_id)
+            if replicas and replicas.get(target_station) is replica:
+                replicas.pop(target_station, None)
+                if not replicas:
+                    self._replicas.pop(assignment.assignment_id, None)
+
+        channel.call(
+            agent.deploy_chain,
+            replica_id,
+            assignment.client_ip,
+            replica_chain,
+            assignment.selector,
+            None,
+            on_complete,
+        )
+        engine = getattr(self.manager, "placement_engine", None)
+        if engine is not None:
+            engine.commit(target_station, engine.chain_memory_mb(replica_chain))
+        self.scale_ups += 1
+        self.events.append(
+            ScaleEvent(
+                time=self.simulator.now,
+                kind="scale-up",
+                from_station=home_station,
+                to_station=target_station,
+                nf_count=len(replica_chain),
+            )
+        )
+
+    def _remove_replica(self, assignment_id: str, replica: _Replica, count_event: bool = True) -> None:
+        replicas = self._replicas.get(assignment_id)
+        if replicas is not None:
+            replicas.pop(replica.station_name, None)
+            if not replicas:
+                self._replicas.pop(assignment_id, None)
+        agent = self.manager.agents.get(replica.station_name)
+        channel = self.manager.channels.get(replica.station_name)
+        if agent is not None and channel is not None:
+            channel.call(agent.remove_chain, replica.replica_id)
+        if count_event:
+            self.scale_downs += 1
+            self.events.append(
+                ScaleEvent(
+                    time=self.simulator.now,
+                    kind="scale-down",
+                    from_station=replica.station_name,
+                    to_station=replica.home_station,
+                    nf_count=replica.nf_count,
+                )
+            )
+
+    def _rebalance(self, assignment, from_station: str, to_station: str) -> None:
+        """Migrate a whole assignment off a hotspot via the migration engine."""
+        event = ClientEvent(
+            station_name=to_station,
+            client_ip=assignment.client_ip,
+            client_name=self.manager.client_names.get(assignment.client_ip, assignment.client_ip),
+            cell_name=f"{to_station}-cell1",
+            event="connected",
+            time=self.simulator.now,
+        )
+        self.roaming.handle_client_connected(assignment, event)
+        engine = getattr(self.manager, "placement_engine", None)
+        if engine is not None:
+            engine.commit(to_station, engine.chain_memory_mb(assignment.chain))
+        self._last_rebalance[assignment.assignment_id] = self.simulator.now
+        self.rebalances += 1
+        self.events.append(
+            ScaleEvent(
+                time=self.simulator.now,
+                kind="rebalance",
+                from_station=from_station,
+                to_station=to_station,
+                nf_count=len(assignment.chain),
+            )
+        )
+
+    def _prune_dead_parents(self) -> None:
+        """Drop replicas whose parent assignment is gone or no longer active."""
+        for assignment_id in sorted(self._replicas):
+            assignment = self.manager.assignments.get(assignment_id)
+            if assignment is not None and assignment.state.value in ("active", "migrating"):
+                continue
+            for replica in list(self._replicas.get(assignment_id, {}).values()):
+                self._remove_replica(assignment_id, replica)
+
+    # ----------------------------------------------------------------- stats
+
+    def summary(self) -> Dict[str, float]:
+        """Autoscaler counters (digested by the scenario telemetry)."""
+        return {
+            "evaluations": float(self.evaluations),
+            "scale_ups": float(self.scale_ups),
+            "scale_downs": float(self.scale_downs),
+            "rebalances": float(self.rebalances),
+            "active_replicas": float(self.active_replicas),
+            "replica_boot_failures": float(self.replica_boot_failures),
+        }

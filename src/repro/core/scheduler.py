@@ -89,7 +89,21 @@ class TimeSchedule:
 
 
 class NFScheduler:
-    """Drives assignment enable/disable transitions from their schedules."""
+    """Drives assignment enable/disable transitions from their schedules.
+
+    One scheduler serves one Manager (each shard of a sharded deployment
+    owns its own; the frontend aggregates them).  Every
+    ``check_interval_s`` it reconciles each tracked assignment's
+    :class:`TimeSchedule` against its last known activation state and calls
+    ``enable_callback(assignment_id)`` / ``disable_callback(assignment_id)``
+    on the edges only -- the Manager maps those onto
+    ``GNFAgent.set_chain_active``, which toggles traffic steering without
+    touching the containers.  ``pop`` extracts an assignment's activation
+    flag for cross-shard handoffs so the adopting scheduler resumes from
+    the same state instead of re-deriving (and double-counting) the
+    transition.  ``transitions`` counts the edges driven, which the
+    scenario digests use to pin schedule behaviour.
+    """
 
     def __init__(
         self,

@@ -54,10 +54,16 @@ from repro.core.manager import (
     AssignmentState,
     ClientEventListener,
     GNFManager,
+    make_assignment,
     track_client_event,
 )
 from repro.core.notifications import NotificationCenter
-from repro.core.placement import ClosestAgentPlacement, PlacementStrategy, StationView
+from repro.core.placement import (
+    ClosestAgentPlacement,
+    PlacementEngine,
+    PlacementStrategy,
+    StationView,
+)
 from repro.core.policy import TrafficSelector
 from repro.core.repository import NFRepository
 from repro.core.scheduler import TimeSchedule
@@ -361,11 +367,23 @@ class ShardedManager:
         topology: Optional[EdgeTopology] = None,
         placement: Optional[PlacementStrategy] = None,
         heartbeat_timeout_s: float = 10.0,
+        placement_engine: Optional[PlacementEngine] = None,
     ) -> None:
         self.simulator = simulator
         self.repository = repository or NFRepository.with_default_catalog()
         self.topology = topology
-        self.placement: PlacementStrategy = placement or ClosestAgentPlacement()
+        # Global placement runs on the frontend: one engine scoring the
+        # *network-wide* station view (admission control and commitment
+        # tracking included), exactly like a single Manager's engine would.
+        self.placement_engine = placement_engine or PlacementEngine(
+            simulator, strategy=placement, repository=self.repository
+        )
+        self.placement_engine.bind(
+            views=self.station_views,
+            on_admit=self._deploy_queued_assignment,
+            on_timeout=self._fail_queued_assignment,
+            locate=lambda client_ip: self.client_locations.get(client_ip),
+        )
         if station_count is None:
             station_count = len(topology.stations) if topology is not None else shard_count
         self.shard_map = StationShardMap(station_count=max(1, station_count), shard_count=shard_count)
@@ -405,6 +423,15 @@ class ShardedManager:
         self.health = _ShardedHealth(self.shards)
         self.hotspots = _ShardedHotspots(self.shards)
         self.scheduler = _ShardSchedulerGroup(self.shards)
+
+    @property
+    def placement(self) -> PlacementStrategy:
+        """The frontend's global placement strategy (engine-delegated)."""
+        return self.placement_engine.strategy
+
+    @placement.setter
+    def placement(self, strategy: PlacementStrategy) -> None:
+        self.placement_engine.strategy = strategy
 
     @property
     def shard_count(self) -> int:
@@ -473,20 +500,58 @@ class ShardedManager:
         station_name: Optional[str] = None,
     ) -> Assignment:
         """Place a chain using the global station view, then route the attach
-        to the shard owning the chosen station."""
+        to the shard owning the chosen station.
+
+        Admission control (when enabled on the frontend's engine) runs here,
+        against the network-wide view: a queued assignment is parked on the
+        frontend and handed to the owning shard only once it is admitted.
+        """
         client_station = station_name or self.client_locations.get(client_ip)
         if client_station is None:
             raise UnknownClientError(
                 f"client {client_ip!r} has no known location; pass station_name explicitly"
             )
-        chosen_station = self.placement.choose(client_station, self.station_views(client_station))
-        shard_index = self.shard_map.shard_for(chosen_station)
-        assignment = self.shards[shard_index].attach_chain(
-            client_ip, chain, selector=selector, schedule=schedule, station_name=chosen_station
+        decision = self.placement_engine.place(
+            client_station, self.station_views(client_station), chain
+        )
+        if decision.admitted:
+            shard_index = self.shard_map.shard_for(decision.station_name)
+            assignment = self.shards[shard_index].attach_chain(
+                client_ip,
+                chain,
+                selector=selector,
+                schedule=schedule,
+                station_name=decision.station_name,
+            )
+            self.assignments[assignment.assignment_id] = assignment
+            self._assignment_shard[assignment.assignment_id] = shard_index
+            return assignment
+        assignment = make_assignment(
+            self.simulator.now, client_ip, chain, selector, schedule, decision.station_name
         )
         self.assignments[assignment.assignment_id] = assignment
-        self._assignment_shard[assignment.assignment_id] = shard_index
+        if decision.queued:
+            self.placement_engine.enqueue(assignment, client_station, chain)
+        else:
+            assignment.state = AssignmentState.FAILED
+            assignment.failure_reason = decision.reason
         return assignment
+
+    def _deploy_queued_assignment(self, assignment: Assignment, station_name: str) -> None:
+        """Engine callback: hand a finally-admitted assignment to its shard."""
+        if assignment.state is not AssignmentState.PENDING:
+            return  # detached (or failed) while waiting in the queue
+        assignment.station_name = station_name
+        assignment.station_history[-1] = station_name
+        shard_index = self.shard_map.shard_for(station_name)
+        self._assignment_shard[assignment.assignment_id] = shard_index
+        self.shards[shard_index].accept_placed_assignment(assignment)
+
+    def _fail_queued_assignment(self, assignment: Assignment, reason: str) -> None:
+        """Engine callback: a queued placement timed out on the frontend."""
+        if assignment.state is AssignmentState.PENDING:
+            assignment.state = AssignmentState.FAILED
+            assignment.failure_reason = reason
 
     def attach_nf(
         self,
@@ -510,7 +575,16 @@ class ShardedManager:
         """Tear down an assignment on whichever shard currently owns it."""
         shard_index = self._assignment_shard.get(assignment_id)
         if shard_index is None:
-            raise UnknownAssignmentError(assignment_id)
+            # Never handed to a shard: still queued for admission on the
+            # frontend (or already failed there).  Nothing was deployed.
+            assignment = self.assignments.get(assignment_id)
+            if assignment is None:
+                raise UnknownAssignmentError(assignment_id)
+            self.placement_engine.cancel(assignment_id)
+            assignment.state = AssignmentState.REMOVED
+            if self.roaming is not None:
+                self.roaming.assignment_released(assignment_id)
+            return assignment
         assignment = self.shards[shard_index].detach(assignment_id)
         # Shards have no roaming hook (roaming is frontend-global), so the
         # frontend must release the coordinator's staged state itself.

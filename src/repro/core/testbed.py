@@ -16,7 +16,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.agent import GNFAgent
 from repro.core.manager import GNFManager
-from repro.core.placement import PlacementStrategy
+from repro.core.placement import (
+    AdmissionPolicy,
+    NFAutoscaler,
+    PlacementEngine,
+    PlacementStrategy,
+    make_strategy,
+)
 from repro.core.repository import NFRepository
 from repro.core.roaming import RoamingCoordinator
 from repro.core.seeds import derive_seed
@@ -70,7 +76,29 @@ class TestbedConfig:
     #: Uniform +/- jitter applied to every handover scan interval (models
     #: unsynchronised Wi-Fi scan timers).  0 keeps scans strictly periodic.
     handover_scan_jitter_s: float = 0.0
+    #: Placement strategy *object* (takes precedence when set); most callers
+    #: use the ``placement_strategy`` name knob instead.
     placement: Optional[PlacementStrategy] = None
+    #: Placement strategy by registry name (``closest-agent`` --- the paper's
+    #: behaviour and the historical default --- ``least-loaded``,
+    #: ``latency-weighted``, ``bin-packing``, ``load-aware``,
+    #: ``latency-aware``).  See :mod:`repro.core.placement`.
+    placement_strategy: str = "closest-agent"
+    #: Manager-side admission control: when on, deployments aimed at a
+    #: saturated station are queued (retried as capacity frees, timed out
+    #: after ``admission_queue_timeout_s``) instead of dispatched to fail at
+    #: the runtime.  Off by default -- the historical behaviour.
+    admission_control: bool = False
+    admission_max_utilization: float = 0.85
+    admission_queue_timeout_s: float = 30.0
+    #: Utilization-driven autoscaler: scales hot chains horizontally with
+    #: load-balancer-fronted replicas on nearby stations and rebalances via
+    #: the migration engine.  Off by default.
+    autoscale_enabled: bool = False
+    autoscale_interval_s: float = 5.0
+    autoscale_up_threshold: float = 0.8
+    autoscale_down_threshold: float = 0.4
+    autoscale_max_replicas: int = 2
     #: Flow-cached fast path on the station switches (disable to measure the
     #: pure slow-path baseline, e.g. in benchmark E6).
     fastpath_enabled: bool = True
@@ -116,6 +144,19 @@ class GNFTestbed:
         self.repository = NFRepository.with_default_catalog()
         if self.config.shard_count < 1:
             raise ValueError(f"shard_count must be >= 1, got {self.config.shard_count}")
+        strategy = self.config.placement or make_strategy(self.config.placement_strategy)
+        self.placement_engine = PlacementEngine(
+            self.simulator,
+            strategy=strategy,
+            repository=self.repository,
+            admission=AdmissionPolicy(
+                enabled=self.config.admission_control,
+                max_utilization=self.config.admission_max_utilization,
+                queue_timeout_s=self.config.admission_queue_timeout_s,
+            ),
+            # Commitments only need to bridge the heartbeat blind window.
+            pending_ttl_s=self.config.heartbeat_interval_s + 1.0,
+        )
         if self.config.shard_count > 1:
             self.manager = ShardedManager(
                 self.simulator,
@@ -123,14 +164,14 @@ class GNFTestbed:
                 station_count=self.config.station_count,
                 repository=self.repository,
                 topology=self.topology,
-                placement=self.config.placement,
+                placement_engine=self.placement_engine,
             )
         else:
             self.manager = GNFManager(
                 self.simulator,
                 repository=self.repository,
                 topology=self.topology,
-                placement=self.config.placement,
+                placement_engine=self.placement_engine,
             )
         self.radio = RadioEnvironment()
         self.handover = HandoverManager(
@@ -151,6 +192,15 @@ class GNFTestbed:
             precopy_max_rounds=self.config.precopy_max_rounds,
             precopy_downtime_target_s=self.config.precopy_downtime_target_s,
             precopy_dirty_fraction=self.config.precopy_dirty_fraction,
+        )
+        self.autoscaler = NFAutoscaler(
+            self.simulator,
+            self.manager,
+            roaming=self.roaming,
+            interval_s=self.config.autoscale_interval_s,
+            scale_up_threshold=self.config.autoscale_up_threshold,
+            scale_down_threshold=self.config.autoscale_down_threshold,
+            max_replicas_per_chain=self.config.autoscale_max_replicas,
         )
         self.ui = GNFDashboard(self.manager)
         self.agents: Dict[str, GNFAgent] = {}
@@ -235,6 +285,8 @@ class GNFTestbed:
     def start(self) -> "GNFTestbed":
         """Associate clients with their best cells and start periodic scanning."""
         self.handover.start()
+        if self.config.autoscale_enabled:
+            self.autoscaler.start()
         return self
 
     def stop(self) -> None:
@@ -246,6 +298,10 @@ class GNFTestbed:
         relies on to assert a clean drain.
         """
         self.handover.stop()
+        # Tear down autoscaled replicas and stop the admission retry task so
+        # neither subsystem keeps rescheduling itself (or leaks containers).
+        self.autoscaler.shutdown()
+        self.placement_engine.stop()
         # Abandon in-flight state transfers and tear down speculative
         # replicas so no migration machinery keeps rescheduling itself (and
         # no captured state or replica outlives the run).

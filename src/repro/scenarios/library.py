@@ -68,6 +68,7 @@ def run_scenario(
     seed: int = 0,
     shard_count: Optional[int] = None,
     migration_strategy: Optional[str] = None,
+    placement_strategy: Optional[str] = None,
 ) -> ScenarioResult:
     """Build and run a canned scenario in one call.
 
@@ -75,9 +76,14 @@ def run_scenario(
     spec's own setting); the digest is identical for any value.
     ``migration_strategy`` overrides the topology's migration strategy, so
     any canned scenario can be replayed cold/stateful/precopy.
+    ``placement_strategy`` overrides the placement strategy name the same
+    way (``closest-agent``/``least-loaded``/``latency-weighted``/
+    ``bin-packing``/...), which is how benchmark E11 ablates placement.
     """
     return ScenarioRunner(build_scenario(name, seed)).run(
-        shard_count=shard_count, migration_strategy=migration_strategy
+        shard_count=shard_count,
+        migration_strategy=migration_strategy,
+        placement_strategy=placement_strategy,
     )
 
 
@@ -554,6 +560,112 @@ def _stateful_backhaul(seed: int) -> ScenarioSpec:
         ],
         assignments=[
             ChainAssignmentSpec(fleet="roamer", nfs=["firewall"], attach_at_s=1.0),
+        ],
+    )
+
+
+@register_scenario("hotspot-stadium")
+def _hotspot_stadium(seed: int) -> ScenarioSpec:
+    """A flash crowd saturates one router-class station (the E11 workload)."""
+    fleets = [
+        ClientFleetSpec(
+            name="crowd",
+            count=20,
+            position=(0.0, 0.0),
+            spread_m=12.0,
+            appear_at_s=1.0,
+            appear_stagger_s=0.1,
+            workloads=[
+                WorkloadSpec(kind="cbr", start_s=10.0, stop_s=30.0, params={"rate_pps": 5.0}),
+            ],
+        )
+    ]
+    assignments = [
+        ChainAssignmentSpec(fleet="crowd", nfs=["firewall", "flow-monitor"], attach_at_s=2.0),
+    ]
+    # One light local per remaining station, so load-aware strategies have
+    # realistic (lightly loaded, not empty) spill-over targets.
+    for index, x in enumerate((80.0, 160.0, 240.0)):
+        name = f"local{index + 2}"
+        fleets.append(
+            ClientFleetSpec(
+                name=name,
+                count=1,
+                position=(x, 0.0),
+                workloads=[
+                    WorkloadSpec(kind="http", start_s=5.0, params={"mean_think_time_s": 2.0}),
+                ],
+            )
+        )
+        assignments.append(ChainAssignmentSpec(fleet=name, nfs=["firewall"], attach_at_s=1.0))
+    return ScenarioSpec(
+        name="hotspot-stadium",
+        description=(
+            "Twenty clients mob station-1 of a four-station deployment and "
+            "all want firewall + flow-monitor chains: far more than one "
+            "router-class station can host.  Closest-agent placement piles "
+            "every chain onto the hotspot and fails most of them; the "
+            "load-aware strategies spill to the three lightly loaded "
+            "neighbours (benchmark E11's ablation workload)."
+        ),
+        seed=seed,
+        duration_s=45.0,
+        topology=TopologySpec(station_count=4, station_spacing_m=80.0),
+        fleets=fleets,
+        assignments=assignments,
+    )
+
+
+@register_scenario("autoscale-daily-wave")
+def _autoscale_daily_wave(seed: int) -> ScenarioSpec:
+    """A compressed daily load wave driving scale-up, then drain-down."""
+    return ScenarioSpec(
+        name="autoscale-daily-wave",
+        description=(
+            "Five office clients at station-2 attach firewall + HTTP-filter "
+            "chains for a compressed 'working day' (t=5..45) and detach "
+            "afterwards.  The autoscaler sees the station run hot, boots "
+            "load-balancer-fronted replica chains on the neighbouring "
+            "stations, rebalances when the replica budget is spent, and "
+            "drains everything again once the wave passes."
+        ),
+        seed=seed,
+        duration_s=70.0,
+        topology=TopologySpec(
+            station_count=3,
+            station_spacing_m=80.0,
+            autoscale_enabled=True,
+            autoscale_interval_s=2.0,
+            autoscale_up_threshold=0.8,
+            autoscale_down_threshold=0.4,
+            autoscale_max_replicas=1,
+        ),
+        fleets=[
+            ClientFleetSpec(
+                name="office",
+                count=5,
+                position=(80.0, 0.0),
+                spread_m=10.0,
+                workloads=[
+                    WorkloadSpec(
+                        kind="http", start_s=8.0, stop_s=40.0, params={"mean_think_time_s": 1.5}
+                    ),
+                ],
+            ),
+            ClientFleetSpec(
+                name="steady",
+                count=1,
+                position=(0.0, 0.0),
+                workloads=[
+                    WorkloadSpec(kind="dns", start_s=4.0, params={"query_interval_s": 3.0}),
+                ],
+            ),
+        ],
+        assignments=[
+            ChainAssignmentSpec(
+                fleet="office", nfs=["firewall", "http-filter"], attach_at_s=5.0, detach_at_s=45.0
+            ),
+            ChainAssignmentSpec(fleet="steady", nfs=["firewall"], attach_at_s=1.0),
         ],
     )
 

@@ -53,6 +53,7 @@ from repro.scenarios.digest import MetricsDigest
 from repro.scenarios.faults import FaultInjector
 from repro.scenarios.spec import (
     MIGRATION_STRATEGIES,
+    PLACEMENT_STRATEGIES,
     ClientFleetSpec,
     MobilitySpec,
     ScenarioSpec,
@@ -98,6 +99,10 @@ class ScenarioResult:
     migrations_completed: int = 0
     faults_injected: int = 0
     attach_failures: List[str] = field(default_factory=list)
+    #: Placement-engine counters (placements local/remote, admission queue
+    #: depth/timeouts) plus the strategy name, and the autoscaler summary.
+    placement_stats: Dict[str, object] = field(default_factory=dict)
+    autoscale_summary: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, object]:
         """Compact run report (printed by the scenario CLI)."""
@@ -123,6 +128,7 @@ class ScenarioRun:
         seed: Optional[int] = None,
         shard_count: Optional[int] = None,
         migration_strategy: Optional[str] = None,
+        placement_strategy: Optional[str] = None,
     ) -> None:
         self.spec = spec.validate()
         self.seed = spec.seed if seed is None else seed
@@ -139,6 +145,14 @@ class ScenarioRun:
             raise ScenarioSpecError(
                 f"unknown migration strategy {self.migration_strategy!r}; "
                 f"valid: {MIGRATION_STRATEGIES}"
+            )
+        self.placement_strategy = (
+            topo.placement_strategy if placement_strategy is None else placement_strategy
+        )
+        if self.placement_strategy not in PLACEMENT_STRATEGIES:
+            raise ScenarioSpecError(
+                f"unknown placement strategy {self.placement_strategy!r}; "
+                f"valid: {PLACEMENT_STRATEGIES}"
             )
         profile = (
             StationProfile.server_class()
@@ -164,6 +178,14 @@ class ScenarioRun:
                 scan_interval_s=topo.scan_interval_s,
                 handover_scan_jitter_s=topo.handover_scan_jitter_s,
                 fastpath_enabled=topo.fastpath_enabled,
+                placement_strategy=self.placement_strategy,
+                admission_control=topo.admission_control,
+                admission_queue_timeout_s=topo.admission_queue_timeout_s,
+                autoscale_enabled=topo.autoscale_enabled,
+                autoscale_interval_s=topo.autoscale_interval_s,
+                autoscale_up_threshold=topo.autoscale_up_threshold,
+                autoscale_down_threshold=topo.autoscale_down_threshold,
+                autoscale_max_replicas=topo.autoscale_max_replicas,
                 shard_count=self.shard_count,
             )
         )
@@ -382,6 +404,11 @@ class ScenarioRun:
             migrations_completed=len(roaming.completed_migrations()),
             faults_injected=int(self.faults.summary().get("faults_injected", 0.0)),
             attach_failures=list(self.attach_failures),
+            placement_stats={
+                "strategy": self.testbed.placement_engine.strategy.name,
+                **self.testbed.placement_engine.stats(),
+            },
+            autoscale_summary=self.testbed.autoscaler.summary(),
         )
         return self._finalized
 
@@ -489,6 +516,25 @@ class ScenarioRun:
                 "scheduler_transitions": manager.scheduler.transitions,
                 "notifications": manager.notifications.summary(),
             },
+            # Placement counters and autoscaler actions are digested too:
+            # both are stations-and-counts only (no strategy names, no
+            # process-global ids), so the digest stays invariant across
+            # shard counts -- and across placement strategies whenever the
+            # strategies actually make the same decisions.
+            "placement": testbed.placement_engine.stats(),
+            "autoscaler": {
+                "summary": testbed.autoscaler.summary(),
+                "events": [
+                    {
+                        "time": event.time,
+                        "kind": event.kind,
+                        "from": event.from_station,
+                        "to": event.to_station,
+                        "nf_count": event.nf_count,
+                    }
+                    for event in testbed.autoscaler.events
+                ],
+            },
             "faults": {
                 "summary": self.faults.summary(),
                 "log": self.faults.applied,
@@ -508,6 +554,7 @@ class ScenarioRunner:
         seed: Optional[int] = None,
         shard_count: Optional[int] = None,
         migration_strategy: Optional[str] = None,
+        placement_strategy: Optional[str] = None,
     ) -> ScenarioRun:
         """Build and start a live run (use for phased/mid-run observation).
 
@@ -523,9 +570,16 @@ class ScenarioRunner:
         E10 determinism matrix asserts this).  ``migration_strategy``
         overrides the topology's strategy (``cold``/``stateful``/``precopy``)
         so the same scenario shape can be compared across strategies.
+        ``placement_strategy`` likewise overrides the topology's placement
+        strategy name (benchmark E11's ablation knob); with the default
+        strategy the digest matches the historical closest-agent behaviour.
         """
         return ScenarioRun(
-            self.spec, seed=seed, shard_count=shard_count, migration_strategy=migration_strategy
+            self.spec,
+            seed=seed,
+            shard_count=shard_count,
+            migration_strategy=migration_strategy,
+            placement_strategy=placement_strategy,
         )
 
     def run(
@@ -533,10 +587,14 @@ class ScenarioRunner:
         seed: Optional[int] = None,
         shard_count: Optional[int] = None,
         migration_strategy: Optional[str] = None,
+        placement_strategy: Optional[str] = None,
     ) -> ScenarioResult:
         """Run the whole scenario; ``seed`` overrides runtime RNGs (see start)."""
         run = self.start(
-            seed=seed, shard_count=shard_count, migration_strategy=migration_strategy
+            seed=seed,
+            shard_count=shard_count,
+            migration_strategy=migration_strategy,
+            placement_strategy=placement_strategy,
         )
         run.advance(self.spec.duration_s)
         return run.finalize()

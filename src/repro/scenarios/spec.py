@@ -20,6 +20,18 @@ WORKLOAD_KINDS = ("cbr", "http", "dns", "video")
 FAULT_KINDS = ("station-crash", "link-degrade", "link-down", "container-oom")
 STATION_PROFILES = ("router", "server")
 MIGRATION_STRATEGIES = ("cold", "stateful", "precopy")
+#: Placement strategy names a spec (or the ``--placement`` CLI flag) may
+#: select; kept in lockstep with ``repro.core.placement.STRATEGY_FACTORIES``
+#: (asserted by the placement-engine tests) so the spec layer stays free of
+#: live-code imports.
+PLACEMENT_STRATEGIES = (
+    "closest-agent",
+    "least-loaded",
+    "latency-weighted",
+    "bin-packing",
+    "load-aware",
+    "latency-aware",
+)
 
 
 class ScenarioSpecError(ValueError):
@@ -259,6 +271,22 @@ class TopologySpec:
     precopy_downtime_target_s: float = 0.05
     precopy_dirty_fraction: float = 0.25
     fastpath_enabled: bool = True
+    #: Placement strategy name (see :mod:`repro.core.placement`).  The
+    #: default is the paper's closest-agent behaviour; the load-aware
+    #: strategies only diverge from it when stations saturate, so the
+    #: existing canned library digests are strategy-invariant.
+    placement_strategy: str = "closest-agent"
+    #: Manager-side admission control (queue deployments aimed at saturated
+    #: stations instead of letting the runtime reject them).
+    admission_control: bool = False
+    admission_queue_timeout_s: float = 30.0
+    #: Utilization-driven horizontal autoscaling of hot chains (off by
+    #: default; no autoscaler events are scheduled when disabled).
+    autoscale_enabled: bool = False
+    autoscale_interval_s: float = 5.0
+    autoscale_up_threshold: float = 0.8
+    autoscale_down_threshold: float = 0.4
+    autoscale_max_replicas: int = 2
     #: Control-plane shards (1 = the single historical Manager).  A scenario
     #: replays to the identical MetricsDigest for any shard count -- the
     #: knob trades control-plane event overhead, not behaviour.
@@ -302,6 +330,28 @@ class TopologySpec:
             raise ScenarioSpecError(
                 f"precopy_dirty_fraction must be in (0, 1), got {self.precopy_dirty_fraction}"
             )
+        if self.placement_strategy not in PLACEMENT_STRATEGIES:
+            raise ScenarioSpecError(
+                f"unknown placement strategy {self.placement_strategy!r}; "
+                f"valid: {PLACEMENT_STRATEGIES}"
+            )
+        if self.admission_queue_timeout_s <= 0:
+            raise ScenarioSpecError(
+                f"admission_queue_timeout_s must be positive, got {self.admission_queue_timeout_s}"
+            )
+        if self.autoscale_interval_s <= 0:
+            raise ScenarioSpecError(
+                f"autoscale_interval_s must be positive, got {self.autoscale_interval_s}"
+            )
+        if not 0.0 < self.autoscale_down_threshold < self.autoscale_up_threshold:
+            raise ScenarioSpecError(
+                "autoscale thresholds must satisfy 0 < down < up, got "
+                f"down={self.autoscale_down_threshold}, up={self.autoscale_up_threshold}"
+            )
+        if self.autoscale_max_replicas < 0:
+            raise ScenarioSpecError(
+                f"autoscale_max_replicas must be >= 0, got {self.autoscale_max_replicas}"
+            )
         if self.shard_count < 1:
             raise ScenarioSpecError(f"shard_count must be >= 1, got {self.shard_count}")
 
@@ -318,6 +368,14 @@ class TopologySpec:
             "precopy_downtime_target_s": self.precopy_downtime_target_s,
             "precopy_dirty_fraction": self.precopy_dirty_fraction,
             "fastpath_enabled": self.fastpath_enabled,
+            "placement_strategy": self.placement_strategy,
+            "admission_control": self.admission_control,
+            "admission_queue_timeout_s": self.admission_queue_timeout_s,
+            "autoscale_enabled": self.autoscale_enabled,
+            "autoscale_interval_s": self.autoscale_interval_s,
+            "autoscale_up_threshold": self.autoscale_up_threshold,
+            "autoscale_down_threshold": self.autoscale_down_threshold,
+            "autoscale_max_replicas": self.autoscale_max_replicas,
             "shard_count": self.shard_count,
             "uplink_bandwidth_bps": self.uplink_bandwidth_bps,
             "heartbeat_interval_s": self.heartbeat_interval_s,

@@ -19,6 +19,7 @@ def test_doc_files_are_present():
     assert "README.md" in docs_check.DOC_FILES
     assert "docs/ARCHITECTURE.md" in docs_check.DOC_FILES
     assert "docs/SCENARIOS.md" in docs_check.DOC_FILES
+    assert "docs/BENCHMARKS.md" in docs_check.DOC_FILES
 
 
 def test_cited_paths_exist():
@@ -27,6 +28,23 @@ def test_cited_paths_exist():
 
 def test_scenario_citations_match_registry():
     assert docs_check.check_scenario_names(docs_check.DOC_FILES) == []
+
+
+def test_benchmark_catalogue_matches_bench_modules():
+    assert docs_check.check_bench_catalogue() == []
+
+
+def test_bench_catalogue_detects_drift(tmp_path, monkeypatch):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (tmp_path / "benchmarks").mkdir()
+    (tmp_path / "benchmarks" / "bench_e99_future.py").write_text("")
+    (docs / "BENCHMARKS.md").write_text(
+        "| E1 | `benchmarks/bench_e1_gone.py` | x | y |\n"
+    )
+    monkeypatch.setattr(docs_check, "REPO_ROOT", str(tmp_path))
+    problems = docs_check.check_bench_catalogue()
+    assert len(problems) == 2  # uncatalogued module + stale citation
 
 
 def test_readme_has_runnable_quickstart_snippets():

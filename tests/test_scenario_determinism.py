@@ -110,6 +110,23 @@ def test_digest_canonicalisation_is_dict_order_independent():
     assert forward == backward
 
 
+def test_digest_invariant_across_placement_strategies_when_unloaded():
+    """The placement-engine satellite: with autoscaling off, the existing
+    canned library replays to the *identical* digest under every engine
+    strategy.  The load-aware strategies prefer the client's station until
+    it is actually loaded, so on the (unsaturated) historical scenarios they
+    must make exactly the closest-agent decisions -- byte for byte."""
+    for name in ("fig2-roaming", "flash-crowd", "firewall-churn"):
+        base = run_scenario(name, seed=0)
+        for strategy in ("closest-agent", "least-loaded", "latency-weighted", "bin-packing"):
+            other = run_scenario(name, seed=0, placement_strategy=strategy)
+            assert other.digest == base.digest, (
+                name,
+                strategy,
+                base.digest.diff(other.digest),
+            )
+
+
 def test_handover_jitter_is_seeded_not_global():
     # Two runs of a jittered scenario stay identical: the jitter RNG is
     # derived from the master seed, never from global random state.

@@ -10,7 +10,10 @@ Verifies that the documentation cannot silently rot:
    ``build_scenario("...")`` or the ``run_scenario.py <name>`` CLI is
    registered in the canned library, and the scenario table in
    ``docs/SCENARIOS.md`` lists *exactly* the registered scenarios.
-3. (``--run-snippets``) The README's Python quickstart snippets execute
+3. The benchmark catalogue in ``docs/BENCHMARKS.md`` lists *exactly* the
+   ``benchmarks/bench_*.py`` modules (every bench file has a row, every
+   row cites an existing file).
+4. (``--run-snippets``) The README's Python quickstart snippets execute
    successfully against the current tree.
 
 Run from the repository root::
@@ -49,6 +52,12 @@ _SCENARIO_CLI_PATTERN = re.compile(r"run_scenario\.py\s+([a-z][a-z0-9\-]+)")
 
 #: Rows of the scenario table in docs/SCENARIOS.md: | `name` | ... |
 _SCENARIO_TABLE_ROW = re.compile(r"^\|\s*`([a-z0-9\-]+)`\s*\|", re.MULTILINE)
+
+#: Rows of the benchmark catalogue in docs/BENCHMARKS.md: the experiment id
+#: and the bench module the row cites.
+_BENCH_TABLE_ROW = re.compile(
+    r"^\|\s*E\d+[a-z]?\s*\|\s*`(benchmarks/bench_[a-z0-9_]+\.py)`", re.MULTILINE
+)
 
 _PYTHON_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
@@ -100,6 +109,26 @@ def check_scenario_names(doc_files: List[str]) -> List[str]:
     return problems
 
 
+def check_bench_catalogue() -> List[str]:
+    """docs/BENCHMARKS.md must catalogue exactly the bench_*.py modules."""
+    path = os.path.join(REPO_ROOT, "docs", "BENCHMARKS.md")
+    if not os.path.exists(path):
+        return ["docs/BENCHMARKS.md: missing (the benchmark catalogue is mandatory)"]
+    cited = set(_BENCH_TABLE_ROW.findall(_read("docs/BENCHMARKS.md")))
+    if not cited:
+        return ["docs/BENCHMARKS.md: found no benchmark table rows (| E<n> | `benchmarks/...` |)"]
+    actual = {
+        os.path.relpath(bench, REPO_ROOT)
+        for bench in glob.glob(os.path.join(REPO_ROOT, "benchmarks", "bench_*.py"))
+    }
+    problems: List[str] = []
+    for missing in sorted(actual - cited):
+        problems.append(f"docs/BENCHMARKS.md: bench module {missing!r} has no catalogue row")
+    for stale in sorted(cited - actual):
+        problems.append(f"docs/BENCHMARKS.md: catalogue cites non-existent bench {stale!r}")
+    return problems
+
+
 def readme_snippets() -> List[Tuple[int, str]]:
     """The README's ```python fences, with their ordinal for error messages."""
     return list(enumerate(_PYTHON_FENCE.findall(_read("README.md")), start=1))
@@ -126,7 +155,9 @@ def main(argv: List[str] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    problems = check_paths(DOC_FILES) + check_scenario_names(DOC_FILES)
+    problems = (
+        check_paths(DOC_FILES) + check_scenario_names(DOC_FILES) + check_bench_catalogue()
+    )
     if args.run_snippets:
         problems += run_readme_snippets()
 
