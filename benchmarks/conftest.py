@@ -16,12 +16,18 @@ import pytest
 # Make _bench_utils importable regardless of how pytest inserts paths.
 sys.path.insert(0, os.path.dirname(__file__))
 
-from _bench_utils import record_result  # noqa: E402
+from _bench_utils import configure_json_dir, record_result  # noqa: E402
 
 
 def pytest_addoption(parser):
-    """CLI knobs for the parameterised experiments (benchmark E7/E10)."""
+    """CLI knobs for the parameterised experiments (benchmark E7/E10/E12)."""
     group = parser.getgroup("gnf-benchmarks")
+    group.addoption(
+        "--json",
+        default=None,
+        metavar="DIR",
+        help="Also mirror every ExperimentResult as BENCH_<ID>.json under DIR",
+    )
     group.addoption(
         "--e7-stations",
         default="2,4,8",
@@ -55,6 +61,22 @@ def pytest_addoption(parser):
         default=0,
         help="Crowd size for the E11 placement bench (0 = the scenario's canonical 20)",
     )
+    group.addoption(
+        "--e12-clients",
+        type=int,
+        default=0,
+        help="Bulk-client count for the E12 hybrid-core bench (0 = the default 10000)",
+    )
+    group.addoption(
+        "--e12-duration",
+        type=float,
+        default=0.0,
+        help="Simulated duration (s) for the E12 hybrid-core bench (0 = the default 120)",
+    )
+
+
+def pytest_configure(config):
+    configure_json_dir(config.getoption("--json"))
 
 
 @pytest.fixture

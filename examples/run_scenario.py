@@ -24,7 +24,7 @@ import argparse
 import sys
 
 from repro.scenarios import build_scenario, run_scenario, scenario_names
-from repro.scenarios.spec import PLACEMENT_STRATEGIES
+from repro.scenarios.spec import PLACEMENT_STRATEGIES, SIMULATION_MODES
 
 
 def _print_result(result) -> None:
@@ -65,6 +65,16 @@ def main(argv=None) -> int:
         default=None,
         help="placement strategy override (default: the scenario's own setting)",
     )
+    parser.add_argument(
+        "--sim-mode",
+        choices=list(SIMULATION_MODES),
+        default=None,
+        help=(
+            "simulation engine override: 'packet' (pure packet-level) or "
+            "'hybrid' (fluid bulk flows with packet fidelity islands); "
+            "default: the scenario's own setting"
+        ),
+    )
     parser.add_argument("--list", action="store_true", help="list canned scenarios and exit")
     parser.add_argument(
         "--check-determinism",
@@ -86,6 +96,7 @@ def main(argv=None) -> int:
         shard_count=args.shards,
         migration_strategy=args.strategy,
         placement_strategy=args.placement,
+        simulation_mode=args.sim_mode,
     )
     _print_result(result)
     if not result.drained:
@@ -102,6 +113,7 @@ def main(argv=None) -> int:
             seed=args.seed,
             migration_strategy=args.strategy,
             placement_strategy=args.placement,
+            simulation_mode=args.sim_mode,
         )
         if result.digest != again.digest:
             print(

@@ -281,6 +281,7 @@ class GNFAgent:
         self.collector.add_source("resources", self.runtime.utilization)
         self.collector.add_source("switch", lambda: {k: float(v) for k, v in self.station.switch.summary().items()})
         self.collector.add_source("fastpath", self.station.switch.flow_cache.stats)
+        self.collector.add_source("flows", self._flow_tracker_metrics)
         # Wired to the Manager by GNFManager.register_agent().
         self.control_channel: Optional[ControlChannel] = None
         self._manager_heartbeat_sink: Optional[Callable[[AgentHeartbeat], None]] = None
@@ -290,6 +291,31 @@ class GNFAgent:
         self.heartbeats_sent = 0
         self.deployments_completed = 0
         self.deployments_failed = 0
+
+    def _flow_tracker_metrics(self) -> Dict[str, float]:
+        """Aggregate flow-tracker statistics across the station's running NFs.
+
+        The collector tick doubles as the station's housekeeping clock:
+        idle flows are expired here on every sample, so soak runs stop
+        leaking tracker entries and ``flows.expired_flows`` finally moves.
+        """
+        now = self.simulator.now
+        totals: Dict[str, float] = {
+            "active_flows": 0.0,
+            "total_packets": 0.0,
+            "total_bytes": 0.0,
+            "expired_flows": 0.0,
+            "trackers": 0.0,
+        }
+        for container in self.runtime.running_containers():
+            tracker = getattr(container.network_function, "tracker", None)
+            if tracker is None or not hasattr(tracker, "snapshot"):
+                continue
+            tracker.expire_idle(now)
+            totals["trackers"] += 1.0
+            for key, value in tracker.snapshot().items():
+                totals[key] = totals.get(key, 0.0) + float(value)
+        return totals
 
     # ----------------------------------------------------------- manager link
 

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.core.agent import ChainDeployment
 from repro.core.api import ClientEvent
@@ -229,6 +229,21 @@ class StateTransferService:
         self.chunks_retransmitted = 0
 
     # ------------------------------------------------------------- endpoints
+
+    def active_transfer_stations(self) -> Set[str]:
+        """Stations currently sending or receiving state-transfer chunks.
+
+        The hybrid simulation core treats these as packet-fidelity islands:
+        bulk flows touching them are demoted so checkpoint chunks and client
+        traffic contend on the real uplinks.
+        """
+        stations: Set[str] = set()
+        for transfer in self._transfers.values():
+            if transfer.done:
+                continue
+            stations.add(transfer.from_station)
+            stations.add(transfer.to_station)
+        return stations
 
     def _counters(self, station_name: str) -> Dict[str, float]:
         counters = self.station_counters.get(station_name)

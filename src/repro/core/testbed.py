@@ -28,6 +28,8 @@ from repro.core.roaming import RoamingCoordinator
 from repro.core.seeds import derive_seed
 from repro.core.sharding import ShardedManager
 from repro.core.ui import GNFDashboard
+from repro.netem.fluid import SIMULATION_MODES, FluidFlow, FluidPath, HybridScheduler
+from repro.netem.link import Link
 from repro.netem.simulator import Simulator
 from repro.netem.topology import EdgeTopology, StationProfile, TopologyConfig
 from repro.wireless.cell import Cell
@@ -108,6 +110,14 @@ class TestbedConfig:
     #: stations into contiguous bands and coalesces agent->Manager traffic
     #: through a ControlBus.  Scenario digests are identical either way.
     shard_count: int = 1
+    #: ``packet`` (the historical pure packet-level engine) or ``hybrid``
+    #: (bulk flows become fluid rate processes solved per-link, demoted to
+    #: packets inside fidelity islands -- see :mod:`repro.netem.fluid`).
+    #: Non-bulk workloads are packet-level in both modes, so scenarios
+    #: without bulk traffic digest identically across this knob.
+    simulation_mode: str = "packet"
+    #: Fluid solver epoch length in simulated seconds (hybrid mode only).
+    fluid_epoch_s: float = 0.25
 
 
 class GNFTestbed:
@@ -203,6 +213,23 @@ class GNFTestbed:
             max_replicas_per_chain=self.config.autoscale_max_replicas,
         )
         self.ui = GNFDashboard(self.manager)
+        if self.config.simulation_mode not in SIMULATION_MODES:
+            raise ValueError(
+                f"unknown simulation_mode {self.config.simulation_mode!r}; "
+                f"valid: {SIMULATION_MODES}"
+            )
+        self.hybrid = HybridScheduler(
+            self.simulator,
+            mode=self.config.simulation_mode,
+            epoch_s=self.config.fluid_epoch_s,
+        )
+        self.hybrid.chain_predicate = self._flow_has_chain
+        self.hybrid.migration_stations = (
+            lambda: self.roaming.engine.transfers.active_transfer_stations()
+        )
+        self.hybrid.path_resolver = self._resolve_fluid_path
+        self.hybrid.switch_for = self._switch_for
+        self._server_core_links: Dict[str, Link] = {}
         self.agents: Dict[str, GNFAgent] = {}
         self.cells: Dict[str, Cell] = {}
         self.clients: Dict[str, MobileClient] = {}
@@ -220,6 +247,62 @@ class GNFTestbed:
         """
         return derive_seed(self.config.seed, *path)
 
+    # ---------------------------------------------------------- hybrid wiring
+
+    def _flow_has_chain(self, flow: FluidFlow) -> bool:
+        """Fidelity island: the flow's client has a live NF chain attached."""
+        client = flow.client
+        if client is None:
+            return False
+        from repro.core.manager import AssignmentState
+
+        for assignment in self.manager.assignments_for_client(client.ip):
+            if assignment.state not in (AssignmentState.REMOVED, AssignmentState.FAILED):
+                return True
+        return False
+
+    def _switch_for(self, station_name: str):
+        station = self.topology.stations.get(station_name)
+        return station.switch if station is not None else None
+
+    def _server_core_link(self, server_ip: str) -> Optional[Link]:
+        """The core-switch--server link carrying ``server_ip``'s traffic."""
+        link = self._server_core_links.get(server_ip)
+        if link is None:
+            by_name = {candidate.name: candidate for candidate in self.topology.links}
+            for name, server in self.topology.servers.items():
+                candidate = by_name.get(f"{name}-core-link")
+                if candidate is not None and server.ip is not None:
+                    self._server_core_links[server.ip] = candidate
+            link = self._server_core_links.get(server_ip)
+        return link
+
+    def _resolve_fluid_path(self, flow: FluidFlow) -> Optional[FluidPath]:
+        """Shared links an upload from ``flow.client`` to ``flow.dst_ip`` crosses.
+
+        Direction keys follow the attach order in
+        :class:`~repro.netem.topology.EdgeTopology`: station->gateway and
+        gateway->core are the links' ``a_to_b`` sides, core->server is the
+        server link's ``b_to_a`` side.  Unroutable flows (client not
+        associated anywhere) resolve to ``None`` and stay packet-level.
+        """
+        client = flow.client
+        station_name = getattr(client, "current_station_name", None)
+        if station_name is None:
+            return None
+        uplink = self.topology.uplink_links.get(station_name)
+        if uplink is None:
+            return None
+        links: List[Tuple[object, str]] = [(uplink, "a_to_b")]
+        for candidate in self.topology.links:
+            if candidate.name == "gw-core-link":
+                links.append((candidate, "a_to_b"))
+                break
+        server_link = self._server_core_link(flow.dst_ip)
+        if server_link is not None:
+            links.append((server_link, "b_to_a"))
+        return FluidPath(station=station_name, links=links)
+
     # ----------------------------------------------------------------- build
 
     def _build_stations(self) -> None:
@@ -231,6 +314,11 @@ class GNFTestbed:
                 pull_bandwidth_bps=self.config.uplink_bandwidth_bps,
                 heartbeat_interval_s=self.config.heartbeat_interval_s,
             )
+            if self.hybrid.hybrid_enabled:
+                agent.collector.add_source(
+                    "fluid",
+                    lambda name=station_name: dict(self.hybrid._station_counters(name)),
+                )
             self.agents[station_name] = agent
             self.manager.register_agent(agent)
             for cell_index in range(self.config.cells_per_station):
@@ -287,6 +375,7 @@ class GNFTestbed:
         self.handover.start()
         if self.config.autoscale_enabled:
             self.autoscaler.start()
+        self.hybrid.start()
         return self
 
     def stop(self) -> None:
@@ -298,6 +387,8 @@ class GNFTestbed:
         relies on to assert a clean drain.
         """
         self.handover.stop()
+        # Settle the fluid world's partial epoch and stop the solver task.
+        self.hybrid.stop()
         # Tear down autoscaled replicas and stop the admission retry task so
         # neither subsystem keeps rescheduling itself (or leaks containers).
         self.autoscaler.shutdown()

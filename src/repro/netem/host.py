@@ -281,6 +281,7 @@ class Server(Host):
         self.dns_queries_served = 0
         self.icmp_echoes_served = 0
         self.udp_packets_echoed = 0
+        self.bulk_bytes_received = 0
 
     def handle_packet(self, packet: "Packet", interface: Interface) -> None:
         from repro.netem import packet as pkt
@@ -309,6 +310,10 @@ class Server(Host):
             response.ip = response.ip.swapped()
             response.l4 = packet.l4.reply()
             response.created_at = self.simulator.now
+        elif packet.is_udp and packet.metadata.get("bulk_oneway"):
+            # Bulk-transfer uploads are one-way by contract: echoing them
+            # would double the traffic and defeat the fluid model's point.
+            self.bulk_bytes_received += packet.size_bytes
         elif packet.is_udp:
             self.udp_packets_echoed += 1
             response = packet.copy()

@@ -29,6 +29,9 @@ class LinkStats:
     dropped_packets: int = 0
     dropped_bytes: int = 0
     queued_high_water: int = 0
+    #: Bytes moved across this direction by the fluid model (hybrid mode);
+    #: they never appear as packets, so they are counted separately.
+    fluid_bytes: float = 0.0
 
     def record_tx(self, size_bytes: int) -> None:
         self.tx_packets += 1
@@ -42,12 +45,17 @@ class LinkStats:
 class _Direction:
     """State for one direction of a link."""
 
-    __slots__ = ("busy_until", "queue_depth", "stats")
+    __slots__ = ("busy_until", "queue_depth", "stats", "fluid_load_bps")
 
     def __init__(self) -> None:
         self.busy_until = 0.0
         self.queue_depth = 0
         self.stats = LinkStats()
+        #: Aggregate fluid-flow rate currently occupying this direction.
+        #: Packet serialization only sees the residual bandwidth while this
+        #: is non-zero; at zero the arithmetic is bit-identical to the
+        #: fluid-free link (the packet/hybrid digest-equivalence contract).
+        self.fluid_load_bps = 0.0
 
 
 class Link:
@@ -126,6 +134,34 @@ class Link:
         """Time to clock ``size_bytes`` onto the wire at the link rate."""
         return (size_bytes * 8) / self.bandwidth_bps
 
+    #: Fluid background load can squeeze packet bandwidth down to this
+    #: fraction of the link rate, but never below it (mirrors fair-share:
+    #: the packets themselves are also contenders on the real link).
+    _MIN_RESIDUAL_FRACTION = 0.05
+
+    def _packet_serialization_delay(self, size_bytes: int, direction: _Direction) -> float:
+        """Serialization delay as seen by packets, inflated by fluid load."""
+        fluid = direction.fluid_load_bps
+        if fluid <= 0.0:
+            return (size_bytes * 8) / self.bandwidth_bps
+        residual = max(
+            self.bandwidth_bps - fluid, self.bandwidth_bps * self._MIN_RESIDUAL_FRACTION
+        )
+        return (size_bytes * 8) / residual
+
+    # ------------------------------------------------------ fluid occupancy
+
+    def set_fluid_load(self, direction_key: str, load_bps: float) -> None:
+        """Install the aggregate fluid rate for one direction (hybrid mode)."""
+        self._directions[direction_key].fluid_load_bps = max(0.0, load_bps)
+
+    def fluid_load(self, direction_key: str) -> float:
+        return self._directions[direction_key].fluid_load_bps
+
+    def add_fluid_bytes(self, direction_key: str, size_bytes: float) -> None:
+        """Account bytes the fluid solver moved across one direction."""
+        self._directions[direction_key].stats.fluid_bytes += size_bytes
+
     def transmit(self, packet: "Packet", from_interface: "Interface") -> bool:
         """Send ``packet`` out of ``from_interface`` towards the peer.
 
@@ -146,7 +182,7 @@ class Link:
 
         now = self.simulator.now
         start = max(now, direction.busy_until)
-        serialization = self.serialization_delay(size)
+        serialization = self._packet_serialization_delay(size, direction)
         direction.busy_until = start + serialization
         arrival = direction.busy_until + self.delay_s
 
@@ -188,7 +224,7 @@ class Link:
             if direction.queue_depth >= self.max_queue_packets:
                 direction.stats.record_drop(packet.size_bytes)
                 continue
-            start += self.serialization_delay(packet.size_bytes)
+            start += self._packet_serialization_delay(packet.size_bytes, direction)
             direction.queue_depth += 1
             lost = lossy and self._rng.random() < self.loss_rate
             accepted.append((packet, lost))

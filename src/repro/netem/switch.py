@@ -109,6 +109,9 @@ class SoftwareSwitch(Host):
         self.packets_forwarded = 0
         self.packets_flooded = 0
         self.packets_dropped = 0
+        # Bytes moved "through" this switch by the fluid model in hybrid
+        # mode; always zero in pure packet mode.
+        self.fluid_bytes_carried = 0.0
 
     # -------------------------------------------------------------- ports
 
@@ -442,6 +445,10 @@ class SoftwareSwitch(Host):
             self.tx_packets += 1
             port.interface.send(packet.copy())
 
+    def record_fluid_transit(self, size_bytes: float) -> None:
+        """Account bytes the fluid solver moved through this switch (hybrid mode)."""
+        self.fluid_bytes_carried += size_bytes
+
     # -------------------------------------------------------------- stats
 
     def port_stats(self) -> Dict[int, PortStats]:
@@ -460,4 +467,5 @@ class SoftwareSwitch(Host):
             "fastpath_hits": self.flow_cache.hits,
             "fastpath_misses": self.flow_cache.misses,
             "fastpath_entries": len(self.flow_cache),
+            "fluid_bytes_carried": int(self.fluid_bytes_carried),
         }

@@ -13,6 +13,9 @@ repeatable traffic:
   DNS load balancer NF's rewrites are observable.
 * :class:`VideoWorkloadGenerator` -- periodic segment bursts approximating
   adaptive streaming.
+* :class:`BulkTransferGenerator` -- one-way bulk uploads with a fixed byte
+  budget; the only workload the hybrid fluid core may lift out of the
+  packet world (see :mod:`repro.netem.fluid`).
 
 Generators talk to any object satisfying :class:`TrafficEndpoint` (the
 wireless :class:`~repro.wireless.client.MobileClient` in practice).
@@ -26,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol, Sequence
 
 from repro.netem import packet as pkt
+from repro.netem.fluid import FluidFlow, HybridScheduler
 from repro.netem.packet import Packet
 from repro.netem.simulator import Simulator
 
@@ -377,4 +381,153 @@ class VideoWorkloadGenerator(_GeneratorBase):
     def stats(self) -> Dict[str, float]:
         combined = super().stats()
         combined["segments_requested"] = float(self.segments_requested)
+        return combined
+
+
+class BulkTransferGenerator(_GeneratorBase):
+    """One-way bulk upload with a fixed byte budget (file sync, backup, CDN fill).
+
+    The generator registers a :class:`~repro.netem.fluid.FluidFlow` with the
+    testbed's :class:`~repro.netem.fluid.HybridScheduler`.  While the flow is
+    in **packet** mode the generator paces UDP chunks onto the wire itself;
+    when the scheduler **promotes** the flow to fluid the ticking stops and
+    the solver moves the remaining bytes analytically, and a later demotion
+    resumes chunking exactly where the fluid accounting left off
+    (``bytes_fluid + bytes_packet`` is continuous across any number of
+    conversions).  Under ``simulation_mode=packet`` the scheduler pins the
+    flow to packet mode forever and this generator behaves like a plain
+    paced sender.
+
+    Uploads are one-way by contract (``bulk_oneway`` metadata): the server
+    counts the bytes but never echoes, so there are no RTT samples.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        client: TrafficEndpoint,
+        server_ip: str,
+        scheduler: HybridScheduler,
+        total_bytes: float,
+        rate_bps: float = 20e6,
+        chunk_bytes: int = 16_000,
+        dst_port: int = 7001,
+        src_port: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(simulator, client, name=name)
+        if chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+        self.server_ip = server_ip
+        self.scheduler = scheduler
+        self.rate_bps = float(rate_bps)
+        self.chunk_bytes = int(chunk_bytes)
+        self.dst_port = dst_port
+        self.src_port = src_port if src_port is not None else 47_000 + (self.generator_id % 1000)
+        self.transfer_complete = False
+        self._sequence = 0
+        self._tick_scheduled = False
+        self.flow = FluidFlow(
+            name=self.name,
+            demand_bps=rate_bps,
+            total_bytes=total_bytes,
+            client=client,
+            dst_ip=server_ip,
+        )
+        self.flow.on_mode_change = self._on_mode_change
+        self.flow.on_complete = self._on_flow_complete
+
+    @property
+    def _chunk_interval_s(self) -> float:
+        return (self.chunk_bytes * 8) / self.rate_bps
+
+    # ------------------------------------------------------------ control
+
+    def start(self) -> "BulkTransferGenerator":
+        self.running = True
+        self.scheduler.register(self.flow)
+        self._schedule_next(initial=True)
+        return self
+
+    def stop(self) -> None:
+        self.running = False
+        if not self.transfer_complete:
+            self.scheduler.deregister(self.flow)
+
+    # ------------------------------------------------------------- ticking
+
+    def _schedule_next(self, initial: bool = False) -> None:
+        if not self.running or self.transfer_complete:
+            return
+        if self.flow.mode != "packet" or self._tick_scheduled:
+            return
+        self._tick_scheduled = True
+        delay = 0.0 if initial else self._chunk_interval_s
+        self.simulator.schedule(delay, self._tick)
+
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        if not self.running or self.transfer_complete:
+            return
+        if self.flow.mode != "packet":
+            # Promoted mid-flight: the fluid solver owns the bytes now; a
+            # demotion restarts the chain via ``_on_mode_change``.
+            return
+        payload = int(min(self.chunk_bytes, self.flow.remaining_bytes))
+        if payload <= 0:
+            self._finish()
+            return
+        packet = pkt.make_udp_packet(
+            src_ip=self.client.ip,
+            dst_ip=self.server_ip,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            payload_bytes=payload,
+            src_mac=self.client.mac,
+        )
+        packet.metadata["bulk_oneway"] = True
+        packet.metadata["probe_seq"] = self._sequence
+        self._sequence += 1
+        self._stamp_and_send(packet)
+        self.scheduler.record_packet_bytes(self.flow, float(payload))
+        if self.flow.remaining_bytes <= 0:
+            self._finish()
+            return
+        self._schedule_next()
+
+    # ---------------------------------------------------------- completion
+
+    def _finish(self) -> None:
+        if self.transfer_complete:
+            return
+        self.transfer_complete = True
+        self.running = False
+        self.scheduler.flow_finished(self.flow)
+
+    def _on_flow_complete(self) -> None:
+        self.transfer_complete = True
+        self.running = False
+
+    def _on_mode_change(self, mode: str) -> None:
+        if mode == "packet":
+            self._schedule_next()
+
+    # -------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, float]:
+        combined = super().stats()
+        combined.update(
+            {
+                "total_bytes": float(self.flow.total_bytes),
+                "bytes_moved": float(self.flow.bytes_moved),
+                "bytes_fluid": float(self.flow.bytes_fluid),
+                "bytes_packet": float(self.flow.bytes_packet),
+                "completed": 1.0 if self.transfer_complete else 0.0,
+                "promotions": float(self.flow.promotions),
+                "demotions": float(self.flow.demotions),
+            }
+        )
+        # One-way traffic: no responses exist, so the request/response loss
+        # metric is meaningless here.
+        combined["loss_rate"] = 0.0
         return combined

@@ -33,10 +33,16 @@ class FlowMonitor(NetworkFunction):
         self.top_talker_count = top_talker_count
         self.upstream_bytes = 0
         self.downstream_bytes = 0
+        self._next_expiry_at = 0.0
 
     # ------------------------------------------------------------ dataplane
 
     def _process(self, packet: Packet, context: ProcessingContext) -> List[Packet]:
+        if context.now >= self._next_expiry_at:
+            # Opportunistic TTL sweep on the dataplane clock, so trackers on
+            # stations whose Agent collector is stopped still shed idle flows.
+            self.tracker.expire_idle(context.now)
+            self._next_expiry_at = context.now + self.tracker.idle_timeout_s / 2.0
         self.tracker.observe(packet, context.now)
         if context.direction is Direction.UPSTREAM:
             self.upstream_bytes += packet.size_bytes

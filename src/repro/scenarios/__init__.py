@@ -31,7 +31,8 @@ The spec schema
                    (``static``/``linear``/``waypoint``/``commuter``/
                    ``trace`` + model params) and generating traffic per a
                    list of ``WorkloadSpec`` (``cbr``/``http``/``dns``/
-                   ``video`` + generator params, ``start_s``/``stop_s``)
+                   ``video``/``bulk`` + generator params,
+                   ``start_s``/``stop_s``)
 ``assignments``    ``ChainAssignmentSpec`` list: attach the NF chain
                    ``nfs`` (names or ``{"nf_type", "config"}`` dicts) to
                    every client of ``fleet`` at ``attach_at_s``, optionally
@@ -81,6 +82,7 @@ from repro.scenarios.library import (
     build_scenario,
     register_scenario,
     run_scenario,
+    scenario_has_bulk,
     scenario_names,
 )
 from repro.scenarios.runner import ScenarioResult, ScenarioRun, ScenarioRunner
@@ -114,4 +116,5 @@ __all__ = [
     "scenario_names",
     "build_scenario",
     "run_scenario",
+    "scenario_has_bulk",
 ]

@@ -87,8 +87,15 @@ class FaultInjector:
 
     # -------------------------------------------------------------- applying
 
+    #: Fault kinds whose window is a packet-fidelity island for the hybrid
+    #: core: fluid flows through the station are demoted while it is open,
+    #: so faulty links and crashed stations always see real packets.
+    _ISLAND_KINDS = ("station-crash", "link-degrade", "link-down")
+
     def _apply(self, fault: FaultSpec, station: str) -> None:
         detail: Dict[str, object] = {}
+        if fault.kind in self._ISLAND_KINDS:
+            self.testbed.hybrid.enter_fault_island(station)
         if fault.kind == "station-crash":
             detail = self._crash_station(station)
         elif fault.kind == "link-degrade":
@@ -106,6 +113,8 @@ class FaultInjector:
             self._restore_link(station)
         elif fault.kind == "link-down":
             self._release_uplink(station)
+        if fault.kind in self._ISLAND_KINDS:
+            self.testbed.hybrid.exit_fault_island(station)
         self._log("recover", fault, station, {})
 
     # -------------------------------------------------- overlap refcounting

@@ -69,6 +69,7 @@ def run_scenario(
     shard_count: Optional[int] = None,
     migration_strategy: Optional[str] = None,
     placement_strategy: Optional[str] = None,
+    simulation_mode: Optional[str] = None,
 ) -> ScenarioResult:
     """Build and run a canned scenario in one call.
 
@@ -79,11 +80,28 @@ def run_scenario(
     ``placement_strategy`` overrides the placement strategy name the same
     way (``closest-agent``/``least-loaded``/``latency-weighted``/
     ``bin-packing``/...), which is how benchmark E11 ablates placement.
+    ``simulation_mode`` overrides the topology's ``packet``/``hybrid``
+    engine selection; scenarios without bulk workloads (see
+    :func:`scenario_has_bulk`) digest identically under either mode.
     """
     return ScenarioRunner(build_scenario(name, seed)).run(
         shard_count=shard_count,
         migration_strategy=migration_strategy,
         placement_strategy=placement_strategy,
+        simulation_mode=simulation_mode,
+    )
+
+
+def scenario_has_bulk(spec: ScenarioSpec) -> bool:
+    """True when any fleet carries a ``bulk`` workload.
+
+    Bulk transfers are the only traffic the hybrid core may lift into the
+    fluid regime, so scenarios *without* them are digest-identical across
+    ``simulation_mode`` -- the cross-mode equivalence tests use this to
+    decide which canned scenarios to compare.
+    """
+    return any(
+        workload.kind == "bulk" for fleet in spec.fleets for workload in fleet.workloads
     )
 
 
@@ -666,6 +684,93 @@ def _autoscale_daily_wave(seed: int) -> ScenarioSpec:
                 fleet="office", nfs=["firewall", "http-filter"], attach_at_s=5.0, detach_at_s=45.0
             ),
             ChainAssignmentSpec(fleet="steady", nfs=["firewall"], attach_at_s=1.0),
+        ],
+    )
+
+
+@register_scenario("bulk-backhaul")
+def _bulk_backhaul(seed: int) -> ScenarioSpec:
+    """Bulk uploads saturate the backhaul: the hybrid core's home turf."""
+    return ScenarioSpec(
+        name="bulk-backhaul",
+        description=(
+            "Six uploaders push fixed-size bulk transfers through station-1's "
+            "uplink while CBR probes measure the latency inflation; two more "
+            "uploaders at station-2 sit behind a firewall chain (a packet- "
+            "fidelity island) until it detaches, and a mid-run link-degrade "
+            "fault demotes station-1's flows back to packets.  Runs under the "
+            "hybrid fluid core by default; replay with --sim-mode packet to "
+            "compare engines."
+        ),
+        seed=seed,
+        duration_s=60.0,
+        topology=TopologySpec(
+            station_count=4,
+            station_spacing_m=80.0,
+            simulation_mode="hybrid",
+        ),
+        fleets=[
+            ClientFleetSpec(
+                name="uploader",
+                count=6,
+                position=(0.0, 0.0),
+                spread_m=10.0,
+                workloads=[
+                    WorkloadSpec(
+                        kind="bulk",
+                        start_s=3.0,
+                        params={
+                            "total_bytes": 64_000_000.0,
+                            "rate_bps": 30e6,
+                        },
+                    ),
+                ],
+            ),
+            ClientFleetSpec(
+                name="probe",
+                count=2,
+                position=(0.0, 6.0),
+                spread_m=4.0,
+                workloads=[
+                    WorkloadSpec(kind="cbr", start_s=2.0, params={"rate_pps": 10.0}),
+                ],
+            ),
+            ClientFleetSpec(
+                name="chained-uploader",
+                count=2,
+                position=(80.0, 0.0),
+                spread_m=8.0,
+                workloads=[
+                    WorkloadSpec(
+                        kind="bulk",
+                        start_s=4.0,
+                        params={
+                            "total_bytes": 80_000_000.0,
+                            "rate_bps": 20e6,
+                        },
+                    ),
+                ],
+            ),
+        ],
+        assignments=[
+            # The chain is a fidelity island: while it is attached the
+            # chained uploaders stay packet-level; after the detach they
+            # promote to fluid with their byte accounting intact.
+            ChainAssignmentSpec(
+                fleet="chained-uploader",
+                nfs=["firewall"],
+                attach_at_s=2.0,
+                detach_at_s=30.0,
+            ),
+        ],
+        faults=[
+            FaultSpec(
+                kind="link-degrade",
+                station=1,
+                at_s=10.0,
+                duration_s=8.0,
+                params={"bandwidth_factor": 0.3, "loss_rate": 0.02},
+            ),
         ],
     )
 

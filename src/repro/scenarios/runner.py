@@ -44,6 +44,7 @@ from repro.core.scheduler import TimeSchedule
 from repro.core.testbed import GNFTestbed, TestbedConfig
 from repro.netem.topology import StationProfile
 from repro.netem.trafficgen import (
+    BulkTransferGenerator,
     CBRTrafficGenerator,
     DNSWorkloadGenerator,
     HTTPWorkloadGenerator,
@@ -54,6 +55,7 @@ from repro.scenarios.faults import FaultInjector
 from repro.scenarios.spec import (
     MIGRATION_STRATEGIES,
     PLACEMENT_STRATEGIES,
+    SIMULATION_MODES,
     ClientFleetSpec,
     MobilitySpec,
     ScenarioSpec,
@@ -103,6 +105,9 @@ class ScenarioResult:
     #: depth/timeouts) plus the strategy name, and the autoscaler summary.
     placement_stats: Dict[str, object] = field(default_factory=dict)
     autoscale_summary: Dict[str, float] = field(default_factory=dict)
+    #: Hybrid-core counters (flows promoted/demoted, bytes fluid vs packet,
+    #: solver epochs).  All zeros in pure packet mode.
+    fluid_summary: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, object]:
         """Compact run report (printed by the scenario CLI)."""
@@ -129,6 +134,7 @@ class ScenarioRun:
         shard_count: Optional[int] = None,
         migration_strategy: Optional[str] = None,
         placement_strategy: Optional[str] = None,
+        simulation_mode: Optional[str] = None,
     ) -> None:
         self.spec = spec.validate()
         self.seed = spec.seed if seed is None else seed
@@ -153,6 +159,14 @@ class ScenarioRun:
             raise ScenarioSpecError(
                 f"unknown placement strategy {self.placement_strategy!r}; "
                 f"valid: {PLACEMENT_STRATEGIES}"
+            )
+        self.simulation_mode = (
+            topo.simulation_mode if simulation_mode is None else simulation_mode
+        )
+        if self.simulation_mode not in SIMULATION_MODES:
+            raise ScenarioSpecError(
+                f"unknown simulation mode {self.simulation_mode!r}; "
+                f"valid: {SIMULATION_MODES}"
             )
         profile = (
             StationProfile.server_class()
@@ -187,6 +201,8 @@ class ScenarioRun:
                 autoscale_down_threshold=topo.autoscale_down_threshold,
                 autoscale_max_replicas=topo.autoscale_max_replicas,
                 shard_count=self.shard_count,
+                simulation_mode=self.simulation_mode,
+                fluid_epoch_s=topo.fluid_epoch_s,
             )
         )
         self.simulator = self.testbed.simulator
@@ -301,6 +317,17 @@ class ScenarioRun:
         elif workload.kind == "video":
             params.setdefault("server_ip", self.testbed.server_ip)
             generator = VideoWorkloadGenerator(self.simulator, client, name=name, **params)
+        elif workload.kind == "bulk":
+            params.setdefault("server_ip", self.testbed.server_ip)
+            params.setdefault("total_bytes", 1_500_000.0)
+            params.setdefault("src_port", 47_000 + client_index * 8 + workload_index)
+            generator = BulkTransferGenerator(
+                self.simulator,
+                client,
+                scheduler=self.testbed.hybrid,
+                name=name,
+                **params,
+            )
         else:
             raise ValueError(f"unknown workload kind {workload.kind!r}")
         self.generators[name] = generator
@@ -409,6 +436,7 @@ class ScenarioRun:
                 **self.testbed.placement_engine.stats(),
             },
             autoscale_summary=self.testbed.autoscaler.summary(),
+            fluid_summary=self.testbed.hybrid.summary(),
         )
         return self._finalized
 
@@ -522,6 +550,12 @@ class ScenarioRun:
             # shard counts -- and across placement strategies whenever the
             # strategies actually make the same decisions.
             "placement": testbed.placement_engine.stats(),
+            # Only the behaviourally meaningful hybrid counters are digested
+            # (``digest_summary`` excludes epoch bookkeeping), so scenarios
+            # whose flows never go fluid digest identically across
+            # ``simulation_mode`` -- the contract the cross-mode equivalence
+            # tests assert.
+            "fluid": testbed.hybrid.digest_summary(),
             "autoscaler": {
                 "summary": testbed.autoscaler.summary(),
                 "events": [
@@ -555,6 +589,7 @@ class ScenarioRunner:
         shard_count: Optional[int] = None,
         migration_strategy: Optional[str] = None,
         placement_strategy: Optional[str] = None,
+        simulation_mode: Optional[str] = None,
     ) -> ScenarioRun:
         """Build and start a live run (use for phased/mid-run observation).
 
@@ -573,6 +608,9 @@ class ScenarioRunner:
         ``placement_strategy`` likewise overrides the topology's placement
         strategy name (benchmark E11's ablation knob); with the default
         strategy the digest matches the historical closest-agent behaviour.
+        ``simulation_mode`` overrides the topology's ``packet``/``hybrid``
+        engine selection; scenarios without bulk workloads digest
+        identically under either mode.
         """
         return ScenarioRun(
             self.spec,
@@ -580,6 +618,7 @@ class ScenarioRunner:
             shard_count=shard_count,
             migration_strategy=migration_strategy,
             placement_strategy=placement_strategy,
+            simulation_mode=simulation_mode,
         )
 
     def run(
@@ -588,6 +627,7 @@ class ScenarioRunner:
         shard_count: Optional[int] = None,
         migration_strategy: Optional[str] = None,
         placement_strategy: Optional[str] = None,
+        simulation_mode: Optional[str] = None,
     ) -> ScenarioResult:
         """Run the whole scenario; ``seed`` overrides runtime RNGs (see start)."""
         run = self.start(
@@ -595,6 +635,7 @@ class ScenarioRunner:
             shard_count=shard_count,
             migration_strategy=migration_strategy,
             placement_strategy=placement_strategy,
+            simulation_mode=simulation_mode,
         )
         run.advance(self.spec.duration_s)
         return run.finalize()

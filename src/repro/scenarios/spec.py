@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 MOBILITY_MODELS = ("static", "linear", "waypoint", "commuter", "trace")
-WORKLOAD_KINDS = ("cbr", "http", "dns", "video")
+WORKLOAD_KINDS = ("cbr", "http", "dns", "video", "bulk")
+SIMULATION_MODES = ("packet", "hybrid")
 FAULT_KINDS = ("station-crash", "link-degrade", "link-down", "container-oom")
 STATION_PROFILES = ("router", "server")
 MIGRATION_STRATEGIES = ("cold", "stateful", "precopy")
@@ -291,6 +292,11 @@ class TopologySpec:
     #: replays to the identical MetricsDigest for any shard count -- the
     #: knob trades control-plane event overhead, not behaviour.
     shard_count: int = 1
+    #: ``packet`` or ``hybrid`` (fluid bulk flows with packet fidelity
+    #: islands; see :mod:`repro.netem.fluid`).  Scenarios without ``bulk``
+    #: workloads digest identically across this knob.
+    simulation_mode: str = "packet"
+    fluid_epoch_s: float = 0.25
     uplink_bandwidth_bps: float = 100e6
     heartbeat_interval_s: float = 2.0
     scan_interval_s: float = 0.5
@@ -354,6 +360,14 @@ class TopologySpec:
             )
         if self.shard_count < 1:
             raise ScenarioSpecError(f"shard_count must be >= 1, got {self.shard_count}")
+        if self.simulation_mode not in SIMULATION_MODES:
+            raise ScenarioSpecError(
+                f"unknown simulation mode {self.simulation_mode!r}; valid: {SIMULATION_MODES}"
+            )
+        if self.fluid_epoch_s <= 0:
+            raise ScenarioSpecError(
+                f"fluid_epoch_s must be positive, got {self.fluid_epoch_s}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -377,6 +391,8 @@ class TopologySpec:
             "autoscale_down_threshold": self.autoscale_down_threshold,
             "autoscale_max_replicas": self.autoscale_max_replicas,
             "shard_count": self.shard_count,
+            "simulation_mode": self.simulation_mode,
+            "fluid_epoch_s": self.fluid_epoch_s,
             "uplink_bandwidth_bps": self.uplink_bandwidth_bps,
             "heartbeat_interval_s": self.heartbeat_interval_s,
             "scan_interval_s": self.scan_interval_s,
