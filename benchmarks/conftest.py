@@ -62,6 +62,17 @@ def pytest_addoption(parser):
         help="Crowd size for the E11 placement bench (0 = the scenario's canonical 20)",
     )
     group.addoption(
+        "--e13-loads",
+        default="4,10,18",
+        help="Comma-separated crowd sizes for the E13 embedding sweep (default: 4,10,18)",
+    )
+    group.addoption(
+        "--e13-stations",
+        type=int,
+        default=10,
+        help="Station count for the E13 embedding sweep (default: 10)",
+    )
+    group.addoption(
         "--e12-clients",
         type=int,
         default=0,

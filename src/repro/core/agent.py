@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.containers.checkpoint import Checkpoint
-from repro.containers.cgroups import AdmissionError, ResourceAccount
+from repro.containers.cgroups import AdmissionError, ResourceAccount, ResourceRequest
 from repro.containers.container import Container
 from repro.containers.runtime import ContainerRuntime, RuntimeTimings
 from repro.core.api import AgentHeartbeat, ClientEvent, ControlChannel, NFNotificationMessage
@@ -390,12 +390,18 @@ class GNFAgent:
         selector: Optional[TrafficSelector] = None,
         nf_states: Optional[Sequence[Dict[str, object]]] = None,
         on_complete: Optional[Callable[[ChainDeployment, bool, str], None]] = None,
+        install_steering: bool = True,
     ) -> ChainDeployment:
         """Instantiate a chain for a client's selected traffic.
 
         The deployment runs as a simulated process (image pulls, container
         boots).  ``on_complete(deployment, success, detail)`` fires when the
         chain is active (steering rules installed) or when it failed.
+
+        ``install_steering=False`` boots the containers without any flow
+        rules: that is how a split embedding's *remote* segments deploy --
+        the client is not attached to this station, so the segment must not
+        claim the station's cell/uplink steering for that client's traffic.
         """
         deployment = ChainDeployment(
             assignment_id=assignment_id,
@@ -403,6 +409,7 @@ class GNFAgent:
             chain=chain,
             selector=selector or TrafficSelector.all_traffic(),
             requested_at=self.simulator.now,
+            desired_active=install_steering,
         )
         self.deployments[assignment_id] = deployment
         self.simulator.process(
@@ -429,9 +436,21 @@ class GNFAgent:
                     f"{deployment.assignment_id}-{spec.nf_type}-{index}"
                     f"-{next(_deployment_counter):04d}"
                 )
+                # A declared per-NF memory demand overrides the image's
+                # default sizing, so the runtime admits exactly what the
+                # placement engine budgeted for this NF.
+                requirements = spec.requirements
+                request = None
+                if requirements is not None and requirements.memory_mb is not None:
+                    request = ResourceRequest(
+                        memory_mb=requirements.memory_mb
+                        + self.runtime.per_container_overhead_mb,
+                        cpu_shares=image.default_cpu_shares,
+                    )
                 container = self.runtime.create(
                     image,
                     name=container_name,
+                    request=request,
                     labels={
                         "client": deployment.client_ip,
                         "assignment": deployment.assignment_id,

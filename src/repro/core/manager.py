@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.core.agent import ChainDeployment, GNFAgent
@@ -35,6 +35,8 @@ from repro.core.errors import UnknownAgentError, UnknownAssignmentError, Unknown
 from repro.core.monitoring import HealthMonitor, HotspotDetector
 from repro.core.notifications import NotificationCenter, ProviderNotification
 from repro.core.placement import (
+    ChainSegment,
+    PlacementDecision,
     PlacementEngine,
     PlacementStrategy,
     StationView,
@@ -78,6 +80,16 @@ class Assignment:
     failure_reason: str = ""
     station_history: List[str] = field(default_factory=list)
     migrations: int = 0
+    #: A split embedding's segment map.  Empty (or a single entry) means the
+    #: historical whole-chain deployment on ``station_name``; two or more
+    #: entries mean the assignment owns containers on that many stations, the
+    #: first (head) segment -- holding the client-nearest NFs -- living on
+    #: ``station_name`` and roaming with the client.
+    segments: List[ChainSegment] = field(default_factory=list)
+    #: Chain parts (head + remote segments) still booting; the assignment
+    #: turns ACTIVE only when this reaches zero.
+    segments_pending: int = 0
+    _segment_chains: List[ServiceChain] = field(default_factory=list, repr=False)
 
     @property
     def attach_latency_s(self) -> Optional[float]:
@@ -85,6 +97,41 @@ class Assignment:
         if self.active_at is None:
             return None
         return self.active_at - self.requested_at
+
+    @property
+    def is_split(self) -> bool:
+        return len(self.segments) > 1
+
+    def apply_segments(self, segments: List[ChainSegment]) -> None:
+        """Adopt a placement decision's segment map.
+
+        Sub-chains are materialised once here (not per read) so every later
+        dispatch, migration and teardown of the same segment reuses the same
+        :class:`~repro.core.chain.ServiceChain` object.
+        """
+        self.segments = list(segments)
+        self._segment_chains = (
+            [self.chain.sub_chain(s.start, s.end) for s in self.segments]
+            if len(self.segments) > 1
+            else []
+        )
+
+    def segment_chains(self) -> List[ServiceChain]:
+        """The per-segment sub-chains of a split assignment ([] otherwise)."""
+        return self._segment_chains
+
+    def head_chain(self) -> ServiceChain:
+        """What the home station runs: the head segment of a split
+        embedding, the whole chain otherwise.  Migration deploys exactly
+        this at the client's new station -- remote segments stay put."""
+        if len(self.segments) > 1:
+            return self._segment_chains[0]
+        return self.chain
+
+    def head_moved(self, new_station: str) -> None:
+        """Record the head segment's new home after a migration."""
+        if self.segments:
+            self.segments[0] = replace(self.segments[0], station_name=new_station)
 
 
 ClientEventListener = Callable[[ClientEvent], None]
@@ -156,6 +203,54 @@ def track_client_event(owner, event: ClientEvent) -> None:
         listener(event)
 
 
+def segment_deployment_id(assignment_id: str, index: int) -> str:
+    """Agent-side deployment id of remote segment ``index`` (>= 1)."""
+    return f"{assignment_id}::seg{index}"
+
+
+def dispatch_remote_segments(owner, assignment: Assignment, finished) -> None:
+    """Deploy ``assignment.segments[1:]`` on their stations.
+
+    Remote segments boot *without* steering rules: the client is not
+    attached to those stations, so the segment must not claim their
+    cell/uplink steering.  ``owner`` must hold network-wide ``agent()`` /
+    ``channels`` (a plain Manager, or the sharded frontend -- shards only
+    see their own band); ``finished`` is the assignment-owning Manager's
+    ``_deployment_finished``, reported back over the segment's own channel.
+    """
+    chains = assignment.segment_chains()
+    for index in range(1, len(assignment.segments)):
+        segment = assignment.segments[index]
+        agent = owner.agent(segment.station_name)
+        channel = owner.channels[segment.station_name]
+
+        def segment_complete(deployment, success: bool, detail: str, _channel=channel) -> None:
+            _channel.call(finished, assignment.assignment_id, success, detail, deployment)
+
+        channel.call(
+            agent.deploy_chain,
+            segment_deployment_id(assignment.assignment_id, index),
+            assignment.client_ip,
+            chains[index],
+            assignment.selector,
+            None,
+            segment_complete,
+            False,
+        )
+
+
+def teardown_remote_segments(owner, assignment: Assignment) -> None:
+    """Remove every remote segment's containers (detach / failure path)."""
+    for index in range(1, len(assignment.segments)):
+        segment = assignment.segments[index]
+        agent = owner.agents.get(segment.station_name)
+        channel = owner.channels.get(segment.station_name)
+        if agent is not None and channel is not None:
+            channel.call(
+                agent.remove_chain, segment_deployment_id(assignment.assignment_id, index)
+            )
+
+
 class GNFManager:
     """The central GNF controller.
 
@@ -210,6 +305,11 @@ class GNFManager:
         )
         self.roaming: Optional["RoamingCoordinator"] = None
         self._client_event_listeners: List[ClientEventListener] = []
+        # Split-embedding hooks: a region shard only holds channels for its
+        # own station band, so the sharded frontend overrides these with its
+        # network-wide dispatch/teardown.  None = this Manager is global.
+        self.remote_segment_dispatcher: Optional[Callable[[Assignment], None]] = None
+        self.remote_segment_teardown: Optional[Callable[[Assignment], None]] = None
         self.heartbeats_processed = 0
         self.client_events_processed = 0
 
@@ -299,13 +399,14 @@ class GNFManager:
                 f"client {client_ip!r} has no known location; pass station_name explicitly"
             )
         decision = self.placement_engine.place(
-            client_station, self.station_views(client_station), chain
+            client_station, self.station_views(client_station), chain, client_ip=client_ip
         )
         assignment = make_assignment(
             self.simulator.now, client_ip, chain, selector, schedule, decision.station_name
         )
         self.assignments[assignment.assignment_id] = assignment
         if decision.admitted:
+            assignment.apply_segments(decision.segments)
             self._dispatch_deployment(assignment)
             self.scheduler.add(assignment.assignment_id, assignment.schedule, currently_active=True)
         elif decision.queued:
@@ -326,12 +427,13 @@ class GNFManager:
         self._dispatch_deployment(assignment)
         self.scheduler.add(assignment.assignment_id, assignment.schedule, currently_active=True)
 
-    def _deploy_queued_assignment(self, assignment: Assignment, station_name: str) -> None:
+    def _deploy_queued_assignment(self, assignment: Assignment, decision: PlacementDecision) -> None:
         """Engine callback: a queued placement finally found capacity."""
         if assignment.state is not AssignmentState.PENDING:
             return  # detached (or failed) while waiting in the queue
-        assignment.station_name = station_name
-        assignment.station_history[-1] = station_name
+        assignment.station_name = decision.station_name
+        assignment.station_history[-1] = decision.station_name
+        assignment.apply_segments(decision.segments)
         self._dispatch_deployment(assignment)
         self.scheduler.add(assignment.assignment_id, assignment.schedule, currently_active=True)
 
@@ -370,6 +472,9 @@ class GNFManager:
             agent = self.agent(assignment.station_name)
             channel = self.channels[assignment.station_name]
             channel.call(agent.remove_chain, assignment_id)
+            # A split embedding also owns containers on its remote-segment
+            # stations: remove them too or a detach leaks them.
+            self._teardown_remote_segments(assignment)
         assignment.state = AssignmentState.REMOVED
         self.scheduler.remove(assignment_id)
         # Release any roaming state staged for this assignment (captured NF
@@ -386,6 +491,7 @@ class GNFManager:
         agent = self.agent(assignment.station_name)
         channel = self.channels[assignment.station_name]
         assignment.state = AssignmentState.DEPLOYING
+        assignment.segments_pending = max(1, len(assignment.segments))
 
         def deployment_complete(deployment: ChainDeployment, success: bool, detail: str) -> None:
             # Report back to the Manager over the control channel.
@@ -395,11 +501,16 @@ class GNFManager:
             agent.deploy_chain,
             assignment.assignment_id,
             assignment.client_ip,
-            assignment.chain,
+            assignment.head_chain(),
             assignment.selector,
             nf_states,
             deployment_complete,
         )
+        if assignment.is_split:
+            if self.remote_segment_dispatcher is not None:
+                self.remote_segment_dispatcher(assignment)
+            else:
+                dispatch_remote_segments(self, assignment, self._deployment_finished)
 
     def _deployment_finished(
         self,
@@ -413,12 +524,39 @@ class GNFManager:
             # A detach raced the deployment: the boot was cancelled (or its
             # chain already torn down); never resurrect the assignment.
             return
-        if success:
-            assignment.state = AssignmentState.ACTIVE
-            assignment.active_at = self.simulator.now
-        else:
+        if assignment.state is AssignmentState.FAILED:
+            # A sibling segment already failed the assignment (and tore every
+            # part down); late reports must not flip the state back.
+            return
+        if not success:
             assignment.state = AssignmentState.FAILED
             assignment.failure_reason = detail
+            if assignment.is_split:
+                # A chain with a hole in it must not keep half its NFs
+                # running: remove the head and every remote segment (parts
+                # still booting roll back via their cancelled flag).
+                self._teardown_split_assignment(assignment)
+            return
+        assignment.segments_pending = max(0, assignment.segments_pending - 1)
+        if assignment.segments_pending == 0 and assignment.state is AssignmentState.DEPLOYING:
+            assignment.state = AssignmentState.ACTIVE
+            assignment.active_at = self.simulator.now
+
+    def _teardown_split_assignment(self, assignment: Assignment) -> None:
+        agent = self.agents.get(assignment.station_name)
+        if agent is not None:
+            self.channels[assignment.station_name].call(
+                agent.remove_chain, assignment.assignment_id
+            )
+        self._teardown_remote_segments(assignment)
+
+    def _teardown_remote_segments(self, assignment: Assignment) -> None:
+        if not assignment.is_split:
+            return
+        if self.remote_segment_teardown is not None:
+            self.remote_segment_teardown(assignment)
+        else:
+            teardown_remote_segments(self, assignment)
 
     # ----------------------------------------------------- scheduler hooks
 

@@ -560,7 +560,7 @@ class ColdPolicy(MigrationPolicy):
             new_agent.deploy_chain,
             assignment.assignment_id,
             assignment.client_ip,
-            assignment.chain,
+            assignment.head_chain(),
             assignment.selector,
             None,
             on_complete,
@@ -615,7 +615,7 @@ class StatefulPolicy(MigrationPolicy):
                 new_agent.deploy_chain,
                 assignment.assignment_id,
                 assignment.client_ip,
-                assignment.chain,
+                assignment.head_chain(),
                 assignment.selector,
                 states,
                 on_complete,
@@ -831,7 +831,9 @@ class MigrationEngine:
         record = MigrationRecord(
             assignment_id=assignment.assignment_id,
             client_ip=assignment.client_ip,
-            nf_types=assignment.chain.nf_types,
+            # Only the head segment roams with the client; remote segments
+            # of a split embedding stay where the embedding put them.
+            nf_types=assignment.head_chain().nf_types,
             from_station=assignment.station_name,
             to_station=event.station_name,
             strategy=self.strategy,
@@ -912,6 +914,7 @@ class MigrationEngine:
             if record.downtime_s is None:
                 record.downtime_s = record.coverage_gap_s
             assignment.station_name = record.to_station
+            assignment.head_moved(record.to_station)
             assignment.station_history.append(record.to_station)
             assignment.migrations += 1
             assignment.state = AssignmentState.ACTIVE
@@ -981,7 +984,7 @@ class MigrationEngine:
             deployment = agent.deploy_chain(
                 assignment.assignment_id,
                 assignment.client_ip,
-                assignment.chain,
+                assignment.head_chain(),
                 assignment.selector,
                 None,
                 self._replica_boot_finished(assignment.assignment_id, station_name),

@@ -154,8 +154,21 @@ class LoadAwarePlacement:
             if candidate.client_latency_s <= self.latency_budget_s
             and candidate.free_memory_mb >= self.min_free_memory_mb
         ]
-        pool = eligible or candidates
-        best = max(pool, key=lambda candidate: (candidate.free_memory_mb, -candidate.client_latency_s))
+        if not eligible:
+            # Relax the latency budget first but keep the memory floor: a
+            # latency-miss is a degraded placement, a memory-miss is a dead
+            # one.  Only when *no* station clears the floor fall back to the
+            # raw candidate list (the deployment will queue or fail loudly
+            # downstream instead of silently landing on a full station).
+            eligible = [
+                candidate
+                for candidate in candidates
+                if candidate.free_memory_mb >= self.min_free_memory_mb
+            ] or list(candidates)
+        best = min(
+            eligible,
+            key=lambda candidate: (-candidate.free_memory_mb, candidate.client_latency_s, candidate.name),
+        )
         return best.name
 
 
@@ -242,9 +255,11 @@ class BinPackingPlacement:
     The client's station wins while the chain still fits there.  Once it is
     full, the chain is packed onto the *most* loaded station that still fits
     it (so spare stations stay empty for e.g. scheduled scale-out), falling
-    back to the least-loaded station when nothing fits.  ``choose_sized``
-    receives the engine's chain-memory estimate; the plain ``choose`` path
-    assumes a zero-size chain.
+    back to the least-loaded station when nothing fits.  Packing is
+    meaningless without a size, so only ``choose_sized`` is implemented:
+    every engine dispatch goes through the sized path.  (Historically the
+    plain ``choose`` assumed a zero-size chain, which admitted chains the
+    chosen station could not fit.)
     """
 
     name = "bin-packing"
@@ -257,7 +272,10 @@ class BinPackingPlacement:
         return station_fits(candidate, required_mb, self.max_utilization, self.headroom_mb)
 
     def choose(self, client_station: str, candidates: List[StationView]) -> str:
-        return self.choose_sized(client_station, candidates, 0.0)
+        raise DeploymentError(
+            "bin-packing placement needs the chain's size: dispatch through "
+            "choose_sized (the engine always does)"
+        )
 
     def choose_sized(
         self, client_station: str, candidates: List[StationView], required_mb: float
@@ -274,6 +292,216 @@ class BinPackingPlacement:
         return best.name
 
 
+@dataclass(frozen=True)
+class ChainSegment:
+    """One contiguous run of a chain's NFs embedded on one station.
+
+    ``start``/``end`` index the chain's specs (``end`` exclusive), so a whole
+    chain is the single segment ``(station, 0, len(chain))`` and a split
+    deployment is two or more segments covering the chain without gaps.
+    """
+
+    station_name: str
+    start: int
+    end: int
+
+    @property
+    def nf_count(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class EmbeddingResult:
+    """Outcome of one embedding attempt: the segment map and its SLO verdict."""
+
+    segments: List[ChainSegment]
+    feasible: bool
+    slo_violation: bool = False
+    reason: str = ""
+    latency_s: float = 0.0
+    bandwidth_mbps: float = 0.0  # 0.0 = unconstrained / unknown
+
+
+class EmbeddingPlacement:
+    """Constraint-aware SFC embedding: a chain may split across stations.
+
+    While the client's station is unloaded the whole chain lands there --
+    exactly :class:`LeastLoadedPlacement`'s local-preference rule, so an
+    unsaturated deployment stays digest-identical to the whole-chain
+    strategies.  Under pressure the chain is embedded greedily: the local
+    station keeps as long a *prefix* of the chain as still fits (the NFs
+    nearest the client), and the remainder spills onto neighbouring stations
+    ranked by load, then by the client's radio quality towards them (stations
+    the client hears poorly are deprioritized), then latency, then name.
+
+    The engine prices each embedding against the chain's
+    :class:`~repro.core.chain.ChainSLO` via :meth:`embed`: every remote
+    segment adds a there-and-back inter-station hop to the latency estimate,
+    and the end-to-end bandwidth is the weakest of the client's radio rate
+    and the residual uplink of every station the chain crosses.  An
+    SLO-infeasible chain is *rejected* -- not queued, since waiting frees
+    memory but never shortens a detour.  Per-NF ``cpu_units`` demands are
+    carried on the specs but not priced yet (stations publish no CPU
+    capacity); memory gates the fit and bandwidth gates the SLO.
+    """
+
+    name = "embedding"
+
+    def __init__(
+        self,
+        latency_budget_s: float = 0.05,
+        prefer_local_below: float = 0.6,
+        max_utilization: float = 0.85,
+        headroom_mb: float = 4.0,
+    ) -> None:
+        self.latency_budget_s = latency_budget_s
+        self.prefer_local_below = prefer_local_below
+        self.max_utilization = max_utilization
+        self.headroom_mb = headroom_mb
+
+    def _fits(self, candidate: StationView, required_mb: float) -> bool:
+        return station_fits(candidate, required_mb, self.max_utilization, self.headroom_mb)
+
+    # Whole-chain compatibility path (mirrors LeastLoadedPlacement, so code
+    # that cannot thread segments still gets sane single-station choices).
+    def choose_sized(
+        self, client_station: str, candidates: List[StationView], required_mb: float
+    ) -> str:
+        _require_candidates(candidates)
+        local = next((c for c in candidates if c.name == client_station), None)
+        if local is not None and local.load_score() < self.prefer_local_below:
+            return client_station
+        eligible = [c for c in candidates if c.client_latency_s <= self.latency_budget_s]
+        pool = eligible or candidates
+        return min(pool, key=lambda c: (c.load_score(), c.client_latency_s, c.name)).name
+
+    def choose(self, client_station: str, candidates: List[StationView]) -> str:
+        return self.choose_sized(client_station, candidates, 0.0)
+
+    def embed(
+        self,
+        client_station: str,
+        candidates: List[StationView],
+        nf_sizes_mb: List[float],
+        max_latency_s: Optional[float] = None,
+        required_bandwidth_mbps: float = 0.0,
+        radio_rates_bps: Optional[Dict[str, float]] = None,
+        uplink_bandwidth_mbps: float = 0.0,
+    ) -> EmbeddingResult:
+        """Map the chain's NFs onto stations and price the result's SLO."""
+        _require_candidates(candidates)
+        if not nf_sizes_mb:
+            raise DeploymentError("cannot embed an empty chain")
+        rates = radio_rates_bps or {}
+        by_name = {candidate.name: candidate for candidate in candidates}
+        local = by_name.get(client_station)
+        n = len(nf_sizes_mb)
+        total_mb = sum(nf_sizes_mb)
+
+        def priced(segments: List[ChainSegment]) -> EmbeddingResult:
+            latency = 0.0
+            bandwidth = float("inf")
+            access_rate = rates.get(client_station)
+            if access_rate is not None:
+                bandwidth = min(bandwidth, access_rate / 1e6)
+            crossed = [client_station] + [
+                segment.station_name
+                for segment in segments
+                if segment.station_name != client_station
+            ]
+            for name in crossed:
+                view = by_name.get(name)
+                if view is None:
+                    continue
+                if name != client_station:
+                    # The detour out to a remote segment and back: two
+                    # traversals of the client-station<->there path.
+                    latency += 2.0 * view.client_latency_s
+                if uplink_bandwidth_mbps > 0.0:
+                    bandwidth = min(
+                        bandwidth,
+                        uplink_bandwidth_mbps * max(0.0, 1.0 - view.uplink_utilization),
+                    )
+            reported_bw = 0.0 if bandwidth == float("inf") else bandwidth
+            if max_latency_s is not None and latency > max_latency_s:
+                return EmbeddingResult(
+                    segments,
+                    feasible=False,
+                    slo_violation=True,
+                    reason=(
+                        f"SLO infeasible: detour latency {latency * 1e3:.1f} ms "
+                        f"exceeds {max_latency_s * 1e3:.1f} ms"
+                    ),
+                    latency_s=latency,
+                    bandwidth_mbps=reported_bw,
+                )
+            if required_bandwidth_mbps > 0.0 and bandwidth < required_bandwidth_mbps:
+                return EmbeddingResult(
+                    segments,
+                    feasible=False,
+                    slo_violation=True,
+                    reason=(
+                        f"SLO infeasible: path bandwidth {reported_bw:.1f} Mbit/s "
+                        f"below {required_bandwidth_mbps:.1f} Mbit/s"
+                    ),
+                    latency_s=latency,
+                    bandwidth_mbps=reported_bw,
+                )
+            return EmbeddingResult(
+                segments, feasible=True, latency_s=latency, bandwidth_mbps=reported_bw
+            )
+
+        # Unloaded client station: whole chain local, whatever its size --
+        # the same rule (and therefore the same digests) as least-loaded.
+        if local is not None and local.load_score() < self.prefer_local_below:
+            return priced([ChainSegment(client_station, 0, n)])
+
+        # Saturated: greedy prefix packing.  The local station keeps as many
+        # head NFs as fit its scraps, the remainder spills onto neighbours
+        # ranked by load / radio quality / latency / name.
+        eligible = [c for c in candidates if c.client_latency_s <= self.latency_budget_s]
+        pool = eligible or list(candidates)
+
+        def rank(candidate: StationView):
+            return (
+                candidate.load_score(),
+                -rates.get(candidate.name, 0.0),
+                candidate.client_latency_s,
+                candidate.name,
+            )
+
+        order: List[StationView] = [local] if local is not None else []
+        order.extend(sorted((c for c in pool if c.name != client_station), key=rank))
+        segments: List[ChainSegment] = []
+        index = 0
+        for view in order:
+            if index >= n:
+                break
+            count = 0
+            while index + count < n and self._fits(
+                view, sum(nf_sizes_mb[index : index + count + 1])
+            ):
+                count += 1
+            if count:
+                segments.append(ChainSegment(view.name, index, index + count))
+                index += count
+        if index < n:
+            # Capacity-infeasible right now (may clear via the admission
+            # queue).  Surface the least-loaded station as the nominal
+            # target so failure reporting matches the whole-chain path.
+            fallback = min(pool, key=lambda c: (c.load_score(), c.client_latency_s, c.name))
+            return EmbeddingResult(
+                [ChainSegment(fallback.name, 0, n)],
+                feasible=False,
+                slo_violation=False,
+                reason=(
+                    f"no embedding fits: {total_mb:.0f} MB of NFs exceed the "
+                    f"capacity of all {len(order)} candidate stations"
+                ),
+            )
+        return priced(segments)
+
+
 #: Strategy names accepted by :func:`make_strategy` (and by the
 #: ``TestbedConfig.placement_strategy`` / ``TopologySpec.placement_strategy``
 #: knobs and the ``run_scenario.py --placement`` CLI flag).
@@ -284,6 +512,7 @@ STRATEGY_FACTORIES: Dict[str, Callable[[], PlacementStrategy]] = {
     "bin-packing": BinPackingPlacement,
     "load-aware": LoadAwarePlacement,
     "latency-aware": LatencyAwarePlacement,
+    "embedding": EmbeddingPlacement,
 }
 
 
@@ -327,13 +556,23 @@ class AdmissionPolicy:
 
 @dataclass
 class PlacementDecision:
-    """One placement verdict: where, and whether the deployment may proceed."""
+    """One placement verdict: where, and whether the deployment may proceed.
+
+    ``segments`` is non-empty only for a *split* embedding: two or more
+    :class:`ChainSegment` entries covering the chain, the first of which (the
+    head, holding the client-nearest NFs) lives on ``station_name``.  An
+    empty list means the historical whole-chain deployment on
+    ``station_name``.  ``slo_rejected`` marks a rejection that no amount of
+    queueing can cure (the SLO, not capacity, is infeasible).
+    """
 
     station_name: str
     admitted: bool
     queued: bool = False
     reason: str = ""
     required_mb: float = 0.0
+    segments: List[ChainSegment] = field(default_factory=list)
+    slo_rejected: bool = False
 
 
 class _QueuedPlacement:
@@ -389,12 +628,23 @@ class PlacementEngine:
         self._queue: List[_QueuedPlacement] = []
         self._task: Optional[PeriodicTask] = None
         self._views_provider: Optional[Callable[[Optional[str]], List[StationView]]] = None
-        self._on_admit: Optional[Callable[[object, str], None]] = None
+        self._on_admit: Optional[Callable[[object, PlacementDecision], None]] = None
         self._on_timeout: Optional[Callable[[object, str], None]] = None
         self._locate: Optional[Callable[[str], Optional[str]]] = None
+        # Radio signal for embedding: client_ip -> {station: PHY rate bps}.
+        self._radio_rates: Optional[Callable[[str], Dict[str, float]]] = None
+        self.uplink_bandwidth_mbps = 0.0
+        #: Per-container bookkeeping the runtime adds on top of each NF's
+        #: memory request (``ContainerRuntime.per_container_overhead_mb``).
+        #: 0 until the owning testbed binds it; pricing it keeps the
+        #: engine's fit checks honest against what admission will charge.
+        self.nf_overhead_mb = 0.0
         self.placements = 0
         self.local_placements = 0
         self.remote_placements = 0
+        self.split_placements = 0
+        self.segments_placed = 0
+        self.slo_rejections = 0
         self.rejections = 0
         self.retry_probes = 0
         self.queued_total = 0
@@ -414,24 +664,69 @@ class PlacementEngine:
         """Attach the owning Manager's callbacks (one-time wiring).
 
         ``views(client_station)`` must return fresh candidate views;
-        ``on_admit(assignment, station)`` dispatches a queued assignment
-        that finally got capacity; ``on_timeout(assignment, reason)`` fails
-        one whose queue time expired.  ``locate(client_ip)`` returns the
-        client's *current* station so queue retries follow a client that
-        roamed while its placement waited.
+        ``on_admit(assignment, decision)`` dispatches a queued assignment
+        that finally got capacity (the decision carries the station and any
+        split segments); ``on_timeout(assignment, reason)`` fails one whose
+        queue time expired.  ``locate(client_ip)`` returns the client's
+        *current* station so queue retries follow a client that roamed while
+        its placement waited.
         """
         self._views_provider = views
         self._on_admit = on_admit
         self._on_timeout = on_timeout
         self._locate = locate
 
+    def bind_radio(
+        self,
+        rates_provider: Optional[Callable[[str], Dict[str, float]]],
+        uplink_bandwidth_mbps: float = 0.0,
+    ) -> None:
+        """Attach the radio signal embedding prices (optional wiring).
+
+        ``rates_provider(client_ip)`` returns the per-station PHY-rate map
+        from the handover scan path (``HandoverManager.station_link_rates``);
+        ``uplink_bandwidth_mbps`` is the stations' backhaul capacity so
+        residual uplink bandwidth can enter the SLO check.  Without this
+        wiring embedding still works, it just prices no radio/backhaul term.
+        """
+        self._radio_rates = rates_provider
+        self.uplink_bandwidth_mbps = uplink_bandwidth_mbps
+
     # ---------------------------------------------------------- chain sizing
 
     def chain_memory_mb(self, chain) -> float:
-        """Estimated memory footprint of a chain (catalogue defaults)."""
-        if chain is None or self.repository is None:
+        """Estimated memory footprint of a chain (requirements, else catalogue)."""
+        if chain is None:
             return 0.0
-        return sum(self.nf_memory_mb(spec.nf_type) for spec in chain.specs)
+        return sum(self.nf_sizes_mb(chain))
+
+    def nf_sizes_mb(self, chain) -> List[float]:
+        """Per-NF memory estimates: declared requirements win over the
+        catalogue's image default; each carries the runtime's per-container
+        overhead so estimates match what admission will actually charge."""
+        sizes: List[float] = []
+        for spec in chain.specs:
+            requirements = getattr(spec, "requirements", None)
+            if requirements is not None and requirements.memory_mb is not None:
+                sizes.append(requirements.memory_mb + self.nf_overhead_mb)
+            else:
+                sizes.append(self.nf_memory_mb(spec.nf_type) + self.nf_overhead_mb)
+        return sizes
+
+    def chain_bandwidth_mbps(self, chain) -> float:
+        """The end-to-end rate the chain's path must sustain: the SLO floor
+        or the largest per-NF bandwidth demand, whichever is higher."""
+        if chain is None:
+            return 0.0
+        demand = 0.0
+        slo = getattr(chain, "slo", None)
+        if slo is not None and slo.min_bandwidth_mbps is not None:
+            demand = slo.min_bandwidth_mbps
+        for spec in chain.specs:
+            requirements = getattr(spec, "requirements", None)
+            if requirements is not None:
+                demand = max(demand, requirements.bandwidth_mbps)
+        return demand
 
     def nf_memory_mb(self, nf_type: str) -> float:
         """Catalogue default memory for one NF type (0 when unknown)."""
@@ -479,23 +774,95 @@ class PlacementEngine:
         client_station: str,
         candidates: List[StationView],
         chain=None,
+        client_ip: Optional[str] = None,
         _retry: bool = False,
     ) -> PlacementDecision:
-        """Choose a station for ``chain`` and apply admission control.
+        """Choose a station (or an embedding) for ``chain`` and apply admission.
 
         Pure decision logic: no simulator events are scheduled and nothing
         is mutated beyond the engine's own counters/ledger, so with the
         default strategy and admission off this is behaviour-identical to
-        the pre-engine ``strategy.choose`` call.
+        the pre-engine ``strategy.choose`` call.  ``client_ip`` lets an
+        embedding strategy price the client's radio signal; it is optional
+        and never changes non-embedding strategies.
         """
         self._prune_pending()
         required_mb = self.chain_memory_mb(chain)
         views = self._adjusted(candidates)
-        choose_sized = getattr(self.strategy, "choose_sized", None)
-        if choose_sized is not None:
-            chosen = choose_sized(client_station, views, required_mb)
+        embed = getattr(self.strategy, "embed", None)
+        if embed is not None and chain is not None:
+            result = embed(
+                client_station,
+                views,
+                self.nf_sizes_mb(chain),
+                max_latency_s=(
+                    chain.slo.max_latency_s if getattr(chain, "slo", None) is not None else None
+                ),
+                required_bandwidth_mbps=self.chain_bandwidth_mbps(chain),
+                radio_rates_bps=(
+                    self._radio_rates(client_ip)
+                    if self._radio_rates is not None and client_ip is not None
+                    else None
+                ),
+                uplink_bandwidth_mbps=self.uplink_bandwidth_mbps,
+            )
+            if not result.feasible:
+                if _retry:
+                    self.retry_probes += 1
+                else:
+                    self.rejections += 1
+                if result.slo_violation:
+                    # Terminal: queueing frees capacity, never bandwidth or
+                    # a detour -- the assignment must fail with the reason.
+                    self.slo_rejections += 1
+                    return PlacementDecision(
+                        station_name=result.segments[0].station_name,
+                        admitted=False,
+                        queued=False,
+                        reason=result.reason,
+                        required_mb=required_mb,
+                        slo_rejected=True,
+                    )
+                queued = (
+                    self.admission.enabled
+                    and self.admission.queue
+                    and len(self._queue) < self.admission.queue_limit
+                )
+                return PlacementDecision(
+                    station_name=result.segments[0].station_name,
+                    admitted=False,
+                    queued=queued,
+                    reason=result.reason,
+                    required_mb=required_mb,
+                )
+            if len(result.segments) > 1:
+                # A split embedding did its own per-segment fit checks; book
+                # each segment's memory where it will actually land.
+                sizes = self.nf_sizes_mb(chain)
+                for segment in result.segments:
+                    self._commit(
+                        segment.station_name, sum(sizes[segment.start : segment.end])
+                    )
+                self.placements += 1
+                self.remote_placements += 1
+                self.split_placements += 1
+                self.segments_placed += len(result.segments)
+                return PlacementDecision(
+                    station_name=result.segments[0].station_name,
+                    admitted=True,
+                    required_mb=required_mb,
+                    segments=list(result.segments),
+                )
+            # Single segment: fall through to the common whole-chain tail so
+            # admission control and the counters behave identically to the
+            # non-embedding strategies.
+            chosen = result.segments[0].station_name
         else:
-            chosen = self.strategy.choose(client_station, views)
+            choose_sized = getattr(self.strategy, "choose_sized", None)
+            if choose_sized is not None:
+                chosen = choose_sized(client_station, views, required_mb)
+            else:
+                chosen = self.strategy.choose(client_station, views)
         if self.admission.enabled:
             chosen_view = next((view for view in views if view.name == chosen), None)
             if chosen_view is None or not self._admits(chosen_view, required_mb):
@@ -593,12 +960,18 @@ class PlacementEngine:
                 client_station,
                 self._views_provider(client_station),
                 entry.chain,
+                client_ip=getattr(entry.assignment, "client_ip", None),
                 _retry=True,
             )
             if decision.admitted:
                 self.dispatched_from_queue += 1
                 if self._on_admit is not None:
-                    self._on_admit(entry.assignment, decision.station_name)
+                    self._on_admit(entry.assignment, decision)
+            elif decision.slo_rejected:
+                # The client roamed somewhere its SLO can never be met from;
+                # waiting will not help, so fail the entry with the reason.
+                if self._on_timeout is not None:
+                    self._on_timeout(entry.assignment, decision.reason)
             else:
                 remaining.append(entry)
         self._queue = remaining
@@ -630,6 +1003,9 @@ class PlacementEngine:
             "placements": float(self.placements),
             "local_placements": float(self.local_placements),
             "remote_placements": float(self.remote_placements),
+            "split_placements": float(self.split_placements),
+            "segments_placed": float(self.segments_placed),
+            "slo_rejections": float(self.slo_rejections),
             "rejections": float(self.rejections),
             "retry_probes": float(self.retry_probes),
             "queued_total": float(self.queued_total),

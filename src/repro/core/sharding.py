@@ -54,12 +54,15 @@ from repro.core.manager import (
     AssignmentState,
     ClientEventListener,
     GNFManager,
+    dispatch_remote_segments,
     make_assignment,
+    teardown_remote_segments,
     track_client_event,
 )
 from repro.core.notifications import NotificationCenter
 from repro.core.placement import (
     ClosestAgentPlacement,
+    PlacementDecision,
     PlacementEngine,
     PlacementStrategy,
     StationView,
@@ -404,6 +407,11 @@ class ShardedManager:
                 heartbeat_timeout_s=heartbeat_timeout_s,
             )
             shard.notifications = self.notifications
+            # Split embeddings may land segments outside the shard's band;
+            # only the frontend holds channels to every station, so it
+            # dispatches and tears down remote segments on behalf of shards.
+            shard.remote_segment_dispatcher = self._dispatch_remote_segments
+            shard.remote_segment_teardown = self._teardown_remote_segments
             self.shards.append(shard)
         self.bus = ControlBus(simulator, shard_count)
         self.bus.bind(
@@ -512,19 +520,21 @@ class ShardedManager:
                 f"client {client_ip!r} has no known location; pass station_name explicitly"
             )
         decision = self.placement_engine.place(
-            client_station, self.station_views(client_station), chain
+            client_station, self.station_views(client_station), chain, client_ip=client_ip
         )
         if decision.admitted:
+            # Build the assignment here (not via shard.attach_chain): the
+            # frontend already ran global placement, and the decision's
+            # segment map must travel with the assignment -- a shard
+            # re-placing would see only its own band.
             shard_index = self.shard_map.shard_for(decision.station_name)
-            assignment = self.shards[shard_index].attach_chain(
-                client_ip,
-                chain,
-                selector=selector,
-                schedule=schedule,
-                station_name=decision.station_name,
+            assignment = make_assignment(
+                self.simulator.now, client_ip, chain, selector, schedule, decision.station_name
             )
+            assignment.apply_segments(decision.segments)
             self.assignments[assignment.assignment_id] = assignment
             self._assignment_shard[assignment.assignment_id] = shard_index
+            self.shards[shard_index].accept_placed_assignment(assignment)
             return assignment
         assignment = make_assignment(
             self.simulator.now, client_ip, chain, selector, schedule, decision.station_name
@@ -537,15 +547,30 @@ class ShardedManager:
             assignment.failure_reason = decision.reason
         return assignment
 
-    def _deploy_queued_assignment(self, assignment: Assignment, station_name: str) -> None:
+    def _deploy_queued_assignment(self, assignment: Assignment, decision: PlacementDecision) -> None:
         """Engine callback: hand a finally-admitted assignment to its shard."""
         if assignment.state is not AssignmentState.PENDING:
             return  # detached (or failed) while waiting in the queue
-        assignment.station_name = station_name
-        assignment.station_history[-1] = station_name
-        shard_index = self.shard_map.shard_for(station_name)
+        assignment.station_name = decision.station_name
+        assignment.station_history[-1] = decision.station_name
+        assignment.apply_segments(decision.segments)
+        shard_index = self.shard_map.shard_for(decision.station_name)
         self._assignment_shard[assignment.assignment_id] = shard_index
         self.shards[shard_index].accept_placed_assignment(assignment)
+
+    def _dispatch_remote_segments(self, assignment: Assignment) -> None:
+        """Deploy a split assignment's remote segments network-wide.
+
+        Invoked by the owning shard's ``_dispatch_deployment`` hook: the
+        shard holds channels only for its own band.  Completion reports are
+        routed back into that shard's assignment state machine.
+        """
+        shard = self.shards[self._assignment_shard[assignment.assignment_id]]
+        dispatch_remote_segments(self, assignment, shard._deployment_finished)
+
+    def _teardown_remote_segments(self, assignment: Assignment) -> None:
+        """Tear down remote segments with the frontend's global channels."""
+        teardown_remote_segments(self, assignment)
 
     def _fail_queued_assignment(self, assignment: Assignment, reason: str) -> None:
         """Engine callback: a queued placement timed out on the frontend."""

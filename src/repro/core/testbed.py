@@ -84,7 +84,7 @@ class TestbedConfig:
     #: Placement strategy by registry name (``closest-agent`` --- the paper's
     #: behaviour and the historical default --- ``least-loaded``,
     #: ``latency-weighted``, ``bin-packing``, ``load-aware``,
-    #: ``latency-aware``).  See :mod:`repro.core.placement`.
+    #: ``latency-aware``, ``embedding``).  See :mod:`repro.core.placement`.
     placement_strategy: str = "closest-agent"
     #: Manager-side admission control: when on, deployments aimed at a
     #: saturated station are queued (retried as capacity frees, timed out
@@ -194,6 +194,12 @@ class GNFTestbed:
             scan_jitter_s=self.config.handover_scan_jitter_s,
             jitter_rng=random.Random(self.seed_for("handover", "scan-jitter")),
         )
+        # Feed the embedding strategy the handover scan path's radio view so
+        # SLO pricing can use per-client PHY rates and backhaul headroom.
+        self.placement_engine.bind_radio(
+            self.handover.station_link_rates,
+            uplink_bandwidth_mbps=self.config.uplink_bandwidth_bps / 1e6,
+        )
         self.roaming = RoamingCoordinator(
             self.simulator,
             self.manager,
@@ -234,6 +240,12 @@ class GNFTestbed:
         self.cells: Dict[str, Cell] = {}
         self.clients: Dict[str, MobileClient] = {}
         self._build_stations()
+        if self.agents:
+            # Price the runtime's per-container bookkeeping into placement's
+            # memory estimates, so fit checks match what admission charges.
+            self.placement_engine.nf_overhead_mb = next(
+                iter(self.agents.values())
+            ).runtime.per_container_overhead_mb
         self.manager.start()
 
     # ----------------------------------------------------------------- seeds

@@ -634,6 +634,104 @@ def _hotspot_stadium(seed: int) -> ScenarioSpec:
     )
 
 
+@register_scenario("slo-tight-embedding")
+def _slo_tight_embedding(seed: int) -> ScenarioSpec:
+    """Chain embedding under SLO pressure (the E13 workload shape)."""
+    # Locals consume a slice of every station first, so no station retains
+    # enough contiguous memory for a whole crowd chain -- the fragmentation
+    # that whole-chain placement cannot use but per-NF embedding can.
+    fleets = [
+        ClientFleetSpec(
+            name=f"local{index + 1}",
+            count=1,
+            position=(x, 0.0),
+            workloads=[
+                WorkloadSpec(kind="http", start_s=6.0, params={"mean_think_time_s": 2.5}),
+            ],
+        )
+        for index, x in enumerate((0.0, 80.0, 160.0, 240.0))
+    ]
+    assignments = [
+        ChainAssignmentSpec(fleet=f"local{index + 1}", nfs=["firewall"], attach_at_s=1.0)
+        for index in range(4)
+    ]
+    # The crowd's chains carry explicit per-NF demands (20 MB each, 80 MB per
+    # chain -- more than any station has free once its local firewall is up)
+    # plus an end-to-end SLO loose enough to afford the inter-station detour,
+    # so the embedding strategy must split them across neighbours.
+    crowd_nfs = [
+        {"nf_type": "ids", "requirements": {"memory_mb": 20.0}},
+        {"nf_type": "cache", "requirements": {"memory_mb": 20.0}},
+        {"nf_type": "http-filter", "requirements": {"memory_mb": 20.0}},
+        {"nf_type": "flow-monitor", "requirements": {"memory_mb": 20.0}},
+    ]
+    fleets.append(
+        ClientFleetSpec(
+            name="crowd",
+            count=8,
+            position=(0.0, 0.0),
+            spread_m=10.0,
+            appear_at_s=1.0,
+            appear_stagger_s=0.2,
+            workloads=[
+                WorkloadSpec(kind="cbr", start_s=12.0, stop_s=30.0, params={"rate_pps": 4.0}),
+            ],
+        )
+    )
+    assignments.append(
+        ChainAssignmentSpec(
+            fleet="crowd",
+            nfs=crowd_nfs,
+            attach_at_s=4.0,
+            slo_max_latency_s=0.25,
+            slo_min_bandwidth_mbps=1.0,
+        )
+    )
+    # Latecomers whose SLO forbids any detour: by the time they attach the
+    # hotspot is full, so their (tiny) chains would have to land on a
+    # neighbour -- and the embedding strategy must reject them outright
+    # (SLO-infeasible is terminal, never queued).
+    fleets.append(
+        ClientFleetSpec(
+            name="strict",
+            count=2,
+            position=(5.0, 5.0),
+            workloads=[
+                WorkloadSpec(kind="dns", start_s=15.0, params={"query_interval_s": 4.0}),
+            ],
+        )
+    )
+    assignments.append(
+        ChainAssignmentSpec(
+            fleet="strict",
+            nfs=["firewall"],
+            attach_at_s=6.0,
+            slo_max_latency_s=0.001,
+        )
+    )
+    return ScenarioSpec(
+        name="slo-tight-embedding",
+        description=(
+            "Four router-class stations, each nibbled by a local firewall "
+            "chain, then eight clients mob station-1 wanting 80 MB four-NF "
+            "chains with an end-to-end SLO.  No station has room for a "
+            "whole crowd chain, so the embedding strategy splits them "
+            "across neighbours where the SLO affords the detour, and "
+            "rejects the strict latecomers whose SLO does not (benchmark "
+            "E13's workload shape)."
+        ),
+        seed=seed,
+        duration_s=40.0,
+        topology=TopologySpec(
+            station_count=4,
+            station_spacing_m=80.0,
+            placement_strategy="embedding",
+        ),
+        fleets=fleets,
+        assignments=assignments,
+    )
+
+
 @register_scenario("autoscale-daily-wave")
 def _autoscale_daily_wave(seed: int) -> ScenarioSpec:
     """A compressed daily load wave driving scale-up, then drain-down."""

@@ -37,7 +37,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.chain import NFSpec, ServiceChain
+from repro.core.chain import ChainSLO, NFRequirements, NFSpec, ServiceChain
 from repro.core.errors import UnknownClientError
 from repro.core.manager import Assignment, AssignmentState
 from repro.core.scheduler import TimeSchedule
@@ -342,9 +342,27 @@ class ScenarioRun:
         if client is None or not client.is_connected:
             self._retry_attach(assignment_spec, order, client_name, attempt)
             return
+        specs = []
+        for (nf_type, config), requirements in zip(
+            assignment_spec.nf_specs(), assignment_spec.nf_requirements()
+        ):
+            specs.append(
+                NFSpec(
+                    nf_type,
+                    config=config,
+                    requirements=NFRequirements.from_dict(requirements) if requirements else None,
+                )
+            )
+        slo = None
+        if assignment_spec.has_slo():
+            slo = ChainSLO(
+                max_latency_s=assignment_spec.slo_max_latency_s,
+                min_bandwidth_mbps=assignment_spec.slo_min_bandwidth_mbps,
+            )
         chain = ServiceChain(
-            [NFSpec(nf_type, config=config) for nf_type, config in assignment_spec.nf_specs()],
+            specs,
             name=f"{self.spec.name}/{assignment_spec.fleet}",
+            slo=slo,
         )
         schedule = None
         if assignment_spec.daily_window is not None:

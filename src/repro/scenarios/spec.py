@@ -32,6 +32,7 @@ PLACEMENT_STRATEGIES = (
     "bin-packing",
     "load-aware",
     "latency-aware",
+    "embedding",
 )
 
 
@@ -159,7 +160,13 @@ class ChainAssignmentSpec:
     """Attach an NF chain to every client of a fleet.
 
     ``nfs`` lists the chain positions first-to-last; each entry is either a
-    bare NF type name or ``{"nf_type": ..., "config": {...}}``.  The chain is
+    bare NF type name or ``{"nf_type": ..., "config": {...}, "requirements":
+    {...}}`` where ``requirements`` carries per-NF resource demands
+    (``cpu_units``, ``memory_mb``, ``bandwidth_mbps`` -- see
+    :class:`repro.core.chain.NFRequirements`).  ``slo_max_latency_s`` and
+    ``slo_min_bandwidth_mbps`` declare the chain's end-to-end SLO; the
+    ``embedding`` placement strategy prices inter-station detours against it
+    and rejects SLO-infeasible attachments outright.  The chain is
     attached at ``attach_at_s`` and, when ``detach_at_s`` is set, detached
     there (the churn knob).  ``daily_window`` (with ``day_length_s``) makes
     the assignment a recurring time-of-day schedule; a window whose start is
@@ -172,6 +179,8 @@ class ChainAssignmentSpec:
     detach_at_s: Optional[float] = None
     daily_window: Optional[Tuple[float, float]] = None
     day_length_s: float = 86_400.0
+    slo_max_latency_s: Optional[float] = None
+    slo_min_bandwidth_mbps: float = 0.0
 
     def nf_specs(self) -> List[Tuple[str, Dict[str, Any]]]:
         """Normalise ``nfs`` into (nf_type, config) pairs."""
@@ -182,6 +191,20 @@ class ChainAssignmentSpec:
             else:
                 pairs.append((str(entry["nf_type"]), dict(entry.get("config", {}))))
         return pairs
+
+    def nf_requirements(self) -> List[Optional[Dict[str, Any]]]:
+        """Per-position resource demands (``None`` where an entry has none)."""
+        demands: List[Optional[Dict[str, Any]]] = []
+        for entry in self.nfs:
+            if isinstance(entry, str):
+                demands.append(None)
+            else:
+                requirements = entry.get("requirements")
+                demands.append(dict(requirements) if requirements else None)
+        return demands
+
+    def has_slo(self) -> bool:
+        return self.slo_max_latency_s is not None or self.slo_min_bandwidth_mbps > 0
 
     def validate(self) -> None:
         if not self.fleet:
@@ -199,6 +222,28 @@ class ChainAssignmentSpec:
             )
         if self.day_length_s <= 0:
             raise ScenarioSpecError(f"day_length_s must be positive, got {self.day_length_s}")
+        if self.slo_max_latency_s is not None and self.slo_max_latency_s <= 0:
+            raise ScenarioSpecError(
+                f"slo_max_latency_s must be positive, got {self.slo_max_latency_s}"
+            )
+        if self.slo_min_bandwidth_mbps < 0:
+            raise ScenarioSpecError(
+                f"slo_min_bandwidth_mbps must be >= 0, got {self.slo_min_bandwidth_mbps}"
+            )
+        for position, requirements in enumerate(self.nf_requirements()):
+            if not requirements:
+                continue
+            for key, value in requirements.items():
+                if key not in ("cpu_units", "memory_mb", "bandwidth_mbps"):
+                    raise ScenarioSpecError(
+                        f"assignment for fleet {self.fleet!r}, NF {position}: "
+                        f"unknown requirement {key!r}"
+                    )
+                if value is not None and float(value) < 0:
+                    raise ScenarioSpecError(
+                        f"assignment for fleet {self.fleet!r}, NF {position}: "
+                        f"{key} must be >= 0, got {value}"
+                    )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -208,6 +253,8 @@ class ChainAssignmentSpec:
             "detach_at_s": self.detach_at_s,
             "daily_window": list(self.daily_window) if self.daily_window else None,
             "day_length_s": self.day_length_s,
+            "slo_max_latency_s": self.slo_max_latency_s,
+            "slo_min_bandwidth_mbps": self.slo_min_bandwidth_mbps,
         }
 
 

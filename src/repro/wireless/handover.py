@@ -73,6 +73,7 @@ class HandoverManager:
         self.handover_delay_s = handover_delay_s
         self.cells: Dict[str, Cell] = {}
         self.clients: Dict[str, MobileClient] = {}
+        self._clients_by_ip: Dict[str, MobileClient] = {}
         self.events: List[HandoverEvent] = []
         self._started_listeners: List[HandoverListener] = []
         self._completed_listeners: List[HandoverListener] = []
@@ -86,6 +87,7 @@ class HandoverManager:
 
     def add_client(self, client: MobileClient) -> None:
         self.clients[client.name] = client
+        self._clients_by_ip[client.ip] = client
 
     def on_handover_started(self, listener: HandoverListener) -> None:
         self._started_listeners.append(listener)
@@ -115,15 +117,41 @@ class HandoverManager:
     # ---------------------------------------------------------------- scans
 
     def best_cell_for(self, client: MobileClient) -> Optional[Cell]:
-        """The cell with the strongest signal at the client's position, if audible."""
+        """The cell with the strongest signal at the client's position, if audible.
+
+        Exact RSSI ties (two equidistant cells) resolve by cell name, so the
+        winner does not depend on the order cells were registered in.
+        """
         best: Optional[Cell] = None
-        best_rssi = self.sensitivity_dbm
+        best_rssi = float("-inf")
         for cell in self.cells.values():
             rssi = cell.rssi_to(client.position)
-            if rssi >= best_rssi and (best is None or rssi > best_rssi):
+            if rssi < self.sensitivity_dbm:
+                continue
+            if best is None or rssi > best_rssi or (rssi == best_rssi and cell.name < best.name):
                 best = cell
                 best_rssi = rssi
         return best
+
+    def station_link_rates(self, client_ip: str) -> Dict[str, float]:
+        """Best achievable PHY rate (bps) towards each station for one client.
+
+        The same radio model the scan loop uses, folded into a per-station
+        map: for every station, the strongest of its cells' rates at the
+        client's current position (0.0 when every cell is below the receiver
+        sensitivity).  This is the signal the embedding layer prices so
+        placement deprioritizes stations the client hears poorly.  Pure
+        computation over current positions — no events, no RNG.
+        """
+        client = self._clients_by_ip.get(client_ip)
+        if client is None:
+            return {}
+        rates: Dict[str, float] = {}
+        for cell in self.cells.values():
+            rate = self.radio_environment.link_rate_bps(cell.rssi_to(client.position))
+            if rate > rates.get(cell.station_name, -1.0):
+                rates[cell.station_name] = rate
+        return rates
 
     def scan(self) -> None:
         """One scan round over every client (called periodically)."""

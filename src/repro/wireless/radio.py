@@ -33,6 +33,10 @@ class RadioEnvironment:
     reference_loss_db: float = 40.0
     reference_distance_m: float = 1.0
     noise_floor_dbm: float = -95.0
+    #: Receiver sensitivity: the single reachability threshold shared by
+    #: ``in_range``, ``max_range_m`` and ``link_rate_bps``.  A client the
+    #: model calls unreachable gets PHY rate 0, not a phantom 6 Mbit/s.
+    sensitivity_dbm: float = -85.0
 
     def path_loss_db(self, distance: float) -> float:
         """Path loss in dB at ``distance`` metres."""
@@ -49,19 +53,35 @@ class RadioEnvironment:
         """RSSI between two positions."""
         return self.rssi_dbm(tx_power_dbm, distance_m(a, b))
 
-    def in_range(self, tx_power_dbm: float, a: Position, b: Position, sensitivity_dbm: float = -85.0) -> bool:
+    def in_range(
+        self, tx_power_dbm: float, a: Position, b: Position, sensitivity_dbm: float = None
+    ) -> bool:
         """True if a receiver at ``b`` can hear a transmitter at ``a``."""
-        return self.rssi_between(tx_power_dbm, a, b) >= sensitivity_dbm
+        threshold = self.sensitivity_dbm if sensitivity_dbm is None else sensitivity_dbm
+        return self.rssi_between(tx_power_dbm, a, b) >= threshold
 
-    def max_range_m(self, tx_power_dbm: float, sensitivity_dbm: float = -85.0) -> float:
+    def max_range_m(self, tx_power_dbm: float, sensitivity_dbm: float = None) -> float:
         """Distance at which RSSI drops to the receiver sensitivity."""
-        budget_db = tx_power_dbm - sensitivity_dbm - self.reference_loss_db
+        threshold = self.sensitivity_dbm if sensitivity_dbm is None else sensitivity_dbm
+        budget_db = tx_power_dbm - threshold - self.reference_loss_db
         if budget_db <= 0:
             return self.reference_distance_m
         return self.reference_distance_m * 10 ** (budget_db / (10 * self.path_loss_exponent))
 
+    def snr_db(self, rssi_dbm: float) -> float:
+        """Signal-to-noise ratio against the configured noise floor."""
+        return rssi_dbm - self.noise_floor_dbm
+
     def link_rate_bps(self, rssi_dbm: float) -> float:
-        """Coarse RSSI-to-PHY-rate mapping (802.11-style rate steps)."""
+        """Coarse RSSI-to-PHY-rate mapping (802.11-style rate steps).
+
+        Below the receiver sensitivity the link is unusable: rate 0, matching
+        ``in_range``.  (Historically the lowest step extended down to the
+        noise floor, serving 6 Mbit/s to clients ``in_range`` called
+        unreachable.)
+        """
+        if rssi_dbm < self.sensitivity_dbm:
+            return 0.0
         if rssi_dbm >= -55:
             return 150e6
         if rssi_dbm >= -65:
@@ -70,6 +90,4 @@ class RadioEnvironment:
             return 36e6
         if rssi_dbm >= -82:
             return 12e6
-        if rssi_dbm >= self.noise_floor_dbm:
-            return 6e6
-        return 0.0
+        return 6e6

@@ -19,15 +19,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.chain import ServiceChain
+from repro.core.chain import ChainSLO, NFRequirements, NFSpec, ServiceChain
 from repro.core.errors import DeploymentError
 from repro.core.manager import AssignmentState
 from repro.core.placement import (
     STRATEGY_FACTORIES,
     AdmissionPolicy,
     BinPackingPlacement,
+    EmbeddingPlacement,
     LatencyWeightedPlacement,
     LeastLoadedPlacement,
+    LoadAwarePlacement,
     PlacementEngine,
     StationView,
     make_strategy,
@@ -95,6 +97,177 @@ def test_bin_packing_packs_fullest_fitting_station():
     assert strategy.choose_sized("station-3", views, 10.0) == "station-3"
     # Nothing fits a huge chain: fall back to the least-loaded station.
     assert strategy.choose_sized("station-1", views, 500.0) == "station-3"
+
+
+def test_bin_packing_choose_requires_size():
+    """Regression: the plain ``choose`` assumed a zero-size chain, admitting
+    chains the chosen station could not fit.  Only the sized path remains."""
+    with pytest.raises(DeploymentError):
+        BinPackingPlacement().choose("station-1", [_view("station-1")])
+
+
+def test_load_aware_fallback_keeps_memory_floor():
+    strategy = LoadAwarePlacement()  # latency budget 0.02 s, floor 8 MB
+    views = [
+        _view("station-1", latency=0.0, free=5.0),  # close but below the floor
+        _view("station-2", latency=0.05, free=50.0),  # over budget, has memory
+    ]
+    # The latency budget relaxes before the memory floor does.
+    assert strategy.choose("station-1", views) == "station-2"
+    # Only when *nothing* clears the floor: raw fallback by free memory.
+    views[1].free_memory_mb = 3.0
+    assert strategy.choose("station-1", views) == "station-1"
+
+
+# ---------------------------------------------------------------------------
+# Embedding: split chains, SLO pricing, radio signal
+# ---------------------------------------------------------------------------
+
+
+def test_embedding_matches_least_loaded_while_unsaturated():
+    views = [_view("station-1", latency=0.0, util=0.3), _view("station-2", util=0.0)]
+    embedding = EmbeddingPlacement()
+    assert embedding.choose("station-1", views) == LeastLoadedPlacement().choose(
+        "station-1", views
+    )
+    # The unsaturated embed path is the same rule: whole chain, local.
+    result = embedding.embed("station-1", views, [40.0, 40.0])
+    assert result.feasible
+    assert [(s.station_name, s.start, s.end) for s in result.segments] == [("station-1", 0, 2)]
+
+
+def test_embedding_splits_prefix_local_remainder_spills():
+    views = [
+        _view("station-1", latency=0.0, free=26.0, util=0.7),  # fits two 10 MB NFs
+        _view("station-2", free=80.0, util=0.1),
+    ]
+    result = EmbeddingPlacement().embed("station-1", views, [10.0, 10.0, 10.0, 10.0])
+    assert result.feasible and not result.slo_violation
+    assert [(s.station_name, s.start, s.end) for s in result.segments] == [
+        ("station-1", 0, 2),
+        ("station-2", 2, 4),
+    ]
+
+
+def test_embedding_spill_deprioritizes_weak_radio_stations():
+    views = [
+        _view("station-1", latency=0.0, free=5.0, util=0.9),
+        _view("station-2", free=80.0, util=0.2),
+        _view("station-3", free=80.0, util=0.2),
+    ]
+    strategy = EmbeddingPlacement()
+    # Equal load: the station the client hears best wins the spill.
+    result = strategy.embed(
+        "station-1", views, [10.0, 10.0],
+        radio_rates_bps={"station-2": 6e6, "station-3": 72e6},
+    )
+    assert [s.station_name for s in result.segments] == ["station-3"]
+    # Without a radio signal the name tie-break favours station-2.
+    result = strategy.embed("station-1", views, [10.0, 10.0])
+    assert [s.station_name for s in result.segments] == ["station-2"]
+
+
+def test_embedding_rejects_on_latency_slo():
+    views = [
+        _view("station-1", latency=0.0, free=5.0, util=0.9),
+        _view("station-2", latency=0.02, free=80.0, util=0.2),
+    ]
+    result = EmbeddingPlacement().embed("station-1", views, [10.0], max_latency_s=0.03)
+    assert not result.feasible and result.slo_violation
+    assert "latency" in result.reason
+    # A looser budget admits the same embedding, detour priced in.
+    ok = EmbeddingPlacement().embed("station-1", views, [10.0], max_latency_s=0.05)
+    assert ok.feasible
+    assert ok.latency_s == pytest.approx(0.04)
+
+
+def test_embedding_rejects_on_bandwidth_slo():
+    strategy = EmbeddingPlacement()
+    views = [_view("station-1", latency=0.0, util=0.1)]
+    # A weak radio link gates even an all-local chain.
+    result = strategy.embed(
+        "station-1", views, [10.0],
+        required_bandwidth_mbps=1.0, radio_rates_bps={"station-1": 0.5e6},
+    )
+    assert not result.feasible and result.slo_violation
+    assert "bandwidth" in result.reason
+    # So does a saturated backhaul: 100 Mbit/s uplink at 99.5 % leaves 0.5.
+    views = [_view("station-1", latency=0.0, util=0.1, uplink=0.995)]
+    result = strategy.embed(
+        "station-1", views, [10.0],
+        required_bandwidth_mbps=1.0, uplink_bandwidth_mbps=100.0,
+    )
+    assert not result.feasible and result.slo_violation
+
+
+def test_embedding_capacity_infeasible_is_not_slo_violation():
+    views = [
+        _view("station-1", latency=0.0, free=5.0, util=0.9),
+        _view("station-2", free=6.0, util=0.88),
+    ]
+    result = EmbeddingPlacement().embed("station-1", views, [10.0, 10.0])
+    assert not result.feasible and not result.slo_violation
+    assert "no embedding fits" in result.reason
+
+
+def test_engine_split_decision_carries_segments_and_counters():
+    engine = PlacementEngine(
+        Simulator(),
+        strategy=EmbeddingPlacement(),
+        repository=NFRepository.with_default_catalog(),
+    )
+    chain = ServiceChain(
+        [NFSpec("ids", requirements=NFRequirements(memory_mb=10.0)) for _ in range(4)]
+    )
+    views = [
+        _view("station-1", latency=0.0, free=26.0, util=0.7),
+        _view("station-2", free=80.0, util=0.1),
+    ]
+    decision = engine.place("station-1", views, chain)
+    assert decision.admitted
+    assert [(s.station_name, s.start, s.end) for s in decision.segments] == [
+        ("station-1", 0, 2),
+        ("station-2", 2, 4),
+    ]
+    stats = engine.stats()
+    assert stats["split_placements"] == 1
+    assert stats["segments_placed"] == 2
+
+
+def test_engine_slo_rejection_is_terminal_not_queued():
+    engine = PlacementEngine(
+        Simulator(),
+        strategy=EmbeddingPlacement(),
+        repository=NFRepository.with_default_catalog(),
+        admission=AdmissionPolicy(enabled=True),
+    )
+    views = [
+        _view("station-1", latency=0.0, free=5.0, util=0.9),
+        _view("station-2", latency=0.02, free=80.0, util=0.1),
+    ]
+    chain = ServiceChain(
+        [NFSpec("firewall", requirements=NFRequirements(memory_mb=10.0))],
+        slo=ChainSLO(max_latency_s=0.001),
+    )
+    decision = engine.place("station-1", views, chain)
+    assert not decision.admitted and decision.slo_rejected and not decision.queued
+    assert engine.stats()["slo_rejections"] == 1
+    # Capacity-infeasible embeddings still queue like any other admission miss.
+    big = ServiceChain([NFSpec("firewall", requirements=NFRequirements(memory_mb=500.0))])
+    decision = engine.place("station-1", views, big)
+    assert not decision.admitted and decision.queued and not decision.slo_rejected
+
+
+def test_engine_prices_runtime_overhead_into_sizes():
+    engine = PlacementEngine(Simulator(), repository=NFRepository.with_default_catalog())
+    chain = ServiceChain([NFSpec("firewall", requirements=NFRequirements(memory_mb=10.0))])
+    assert engine.chain_memory_mb(chain) == pytest.approx(10.0)
+    engine.nf_overhead_mb = 1.5
+    assert engine.chain_memory_mb(chain) == pytest.approx(11.5)
+    # Catalogue-sized NFs carry the overhead too.
+    assert engine.chain_memory_mb(ServiceChain.of("firewall")) == pytest.approx(
+        engine.nf_memory_mb("firewall") + 1.5
+    )
 
 
 def test_engine_pending_commitments_spread_same_tick_bursts():
@@ -336,6 +509,7 @@ def test_autoscaler_rebalances_via_migration_engine_with_shard_handoff():
         ("hotspot-stadium", None),
         ("hotspot-stadium", "least-loaded"),
         ("autoscale-daily-wave", None),
+        ("slo-tight-embedding", None),
     ],
 )
 def test_new_scenarios_shard_invariant_digests(name, placement):
@@ -343,6 +517,25 @@ def test_new_scenarios_shard_invariant_digests(name, placement):
     second = run_scenario(name, seed=0, placement_strategy=placement, shard_count=4)
     assert first.drained and second.drained
     assert first.digest == second.digest, first.digest.diff(second.digest)
+
+
+def test_slo_tight_embedding_exercises_splits_and_slo_rejections():
+    """The canned scenario really drives both new code paths: chains split
+    across stations AND SLO-infeasible chains are terminally rejected."""
+    result = run_scenario("slo-tight-embedding", seed=0)
+    assert result.drained
+    assert result.placement_stats["split_placements"] >= 1
+    assert result.placement_stats["slo_rejections"] >= 1
+
+
+def test_embedding_digest_matches_least_loaded_when_unsaturated():
+    """Embedding's local-preference rule mirrors least-loaded exactly, so an
+    unsaturated scenario must replay digest-identically under either."""
+    baseline = run_scenario("fig2-roaming", seed=0, placement_strategy="least-loaded")
+    embedded = run_scenario("fig2-roaming", seed=0, placement_strategy="embedding")
+    assert baseline.drained and embedded.drained
+    assert embedded.placement_stats["split_placements"] == 0
+    assert baseline.digest == embedded.digest, baseline.digest.diff(embedded.digest)
 
 
 def test_hotspot_stadium_least_loaded_admits_more_chains():

@@ -93,6 +93,40 @@ def test_chain_assignment_normalises_nf_entries():
     ]
 
 
+def test_chain_assignment_carries_requirements_and_slo():
+    assignment = ChainAssignmentSpec(
+        fleet="f",
+        nfs=["firewall", {"nf_type": "ids", "requirements": {"memory_mb": 9.0}}],
+        slo_max_latency_s=0.25,
+        slo_min_bandwidth_mbps=1.0,
+    )
+    assert assignment.nf_requirements() == [None, {"memory_mb": 9.0}]
+    assert assignment.has_slo()
+    data = assignment.to_dict()
+    assert data["slo_max_latency_s"] == 0.25
+    assert data["slo_min_bandwidth_mbps"] == 1.0
+    # Bad SLOs and unknown requirement keys are rejected at validate time.
+    def spec_with(assignment_spec):
+        return ScenarioSpec(
+            name="x", fleets=[ClientFleetSpec(name="f")], assignments=[assignment_spec]
+        )
+
+    with pytest.raises(ScenarioSpecError):
+        spec_with(
+            ChainAssignmentSpec(fleet="f", nfs=["firewall"], slo_max_latency_s=0.0)
+        ).validate()
+    with pytest.raises(ScenarioSpecError):
+        spec_with(
+            ChainAssignmentSpec(fleet="f", nfs=["firewall"], slo_min_bandwidth_mbps=-1.0)
+        ).validate()
+    with pytest.raises(ScenarioSpecError):
+        spec_with(
+            ChainAssignmentSpec(
+                fleet="f", nfs=[{"nf_type": "ids", "requirements": {"gpu_count": 1}}]
+            )
+        ).validate()
+
+
 # ---------------------------------------------------------------------------
 # The canned library + determinism matrix (the acceptance criterion)
 # ---------------------------------------------------------------------------

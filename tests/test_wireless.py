@@ -56,6 +56,27 @@ def test_link_rate_steps_monotonic():
     assert rates[-1] == 0.0
 
 
+def test_link_rate_zero_exactly_when_unreachable():
+    """Regression: the lowest rate step used to extend below the receiver
+    sensitivity, serving 6 Mbit/s to clients ``in_range`` called unreachable."""
+    radio = RadioEnvironment()
+    max_range = radio.max_range_m(20.0)
+    for fraction in (0.5, 0.95, 1.05, 2.0):
+        position = (max_range * fraction, 0.0)
+        reachable = radio.in_range(20.0, (0, 0), position)
+        rate = radio.link_rate_bps(radio.rssi_between(20.0, (0, 0), position))
+        assert reachable == (rate > 0.0), (fraction, reachable, rate)
+
+
+def test_sensitivity_threshold_is_configurable_and_shared():
+    strict = RadioEnvironment(sensitivity_dbm=-70.0)
+    default = RadioEnvironment()
+    # One knob governs both reachability and the rate floor.
+    assert strict.link_rate_bps(-72.0) == 0.0
+    assert default.link_rate_bps(-72.0) > 0.0
+    assert strict.max_range_m(20.0) < default.max_range_m(20.0)
+
+
 # --------------------------------------------------------------------------
 # Mobility models
 # --------------------------------------------------------------------------
@@ -333,3 +354,40 @@ def test_client_stats_and_history(simulator):
     stats = client.stats()
     assert stats["handovers"] == 1
     assert [name for _, name in client.association_history] == ["cell-a", "cell-b"]
+
+
+def test_best_cell_tie_breaks_by_name_not_insertion_order():
+    """Regression: two equidistant cells used to resolve by registration
+    order, so cell-build order leaked into association (and digests)."""
+    histories = []
+    for order in (("cell-a", "cell-b"), ("cell-b", "cell-a")):
+        simulator = Simulator()
+        topology = EdgeTopology(simulator, TopologyConfig(station_count=2))
+        cells = {
+            "cell-a": build_cell(simulator, topology, station="station-1", position=(0.0, 0.0), name="cell-a"),
+            "cell-b": build_cell(simulator, topology, station="station-2", position=(80.0, 0.0), name="cell-b"),
+        }
+        manager = HandoverManager(simulator, topology, scan_interval_s=0.5, handover_delay_s=0.05)
+        for name in order:
+            manager.add_cell(cells[name])
+        client = make_client(simulator, position=(40.0, 0.0))  # exact RSSI tie
+        manager.add_client(client)
+        assert cells["cell-a"].rssi_to(client.position) == cells["cell-b"].rssi_to(client.position)
+        assert manager.best_cell_for(client).name == "cell-a"
+        manager.start()
+        simulator.run(until=2.0)
+        histories.append([name for _, name in client.association_history])
+    assert histories[0] == histories[1] == ["cell-a"]
+
+
+def test_station_link_rates_reflects_radio_quality(simulator):
+    topology, cell_a, cell_b, manager = two_cell_setup(simulator)
+    client = make_client(simulator, position=(5.0, 0.0))
+    manager.add_client(client)
+    rates = manager.station_link_rates(client.ip)
+    assert set(rates) == {"station-1", "station-2"}
+    assert rates["station-1"] > rates["station-2"] > 0.0
+    # Unknown clients yield nothing; unreachable clients yield rate 0.
+    assert manager.station_link_rates("10.99.99.99") == {}
+    client.position = (5000.0, 5000.0)
+    assert set(manager.station_link_rates(client.ip).values()) == {0.0}
