@@ -73,6 +73,47 @@ def pytest_addoption(parser):
         help="Station count for the E13 embedding sweep (default: 10)",
     )
     group.addoption(
+        "--e14-clients",
+        type=int,
+        default=1_000_000,
+        help="Simulated client population for the E14 federation bench (default: 1000000)",
+    )
+    group.addoption(
+        "--e14-stations",
+        type=int,
+        default=128,
+        help="Station count for the E14 read-path and heartbeat sweeps (default: 128)",
+    )
+    group.addoption(
+        "--e14-reads",
+        type=int,
+        default=20,
+        help="Overview reads timed per mode in the E14 read-path comparison (default: 20)",
+    )
+    group.addoption(
+        "--e14-rounds",
+        type=int,
+        default=40,
+        help="Network-wide heartbeat waves per config in the E14 throughput sweep (default: 40)",
+    )
+    group.addoption(
+        "--e14-regions",
+        default="1,2,4",
+        help="Comma-separated region counts for the E14 heartbeat sweep (default: 1,2,4)",
+    )
+    group.addoption(
+        "--e14-hybrid-stations",
+        type=int,
+        default=32,
+        help="Station count for the E14 hybrid-mode federated testbed leg (default: 32)",
+    )
+    group.addoption(
+        "--e14-hybrid-duration",
+        type=float,
+        default=20.0,
+        help="Simulated duration (s) for the E14 hybrid-mode leg (default: 20)",
+    )
+    group.addoption(
         "--e12-clients",
         type=int,
         default=0,

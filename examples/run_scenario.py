@@ -13,9 +13,11 @@ Usage::
 ``--check-determinism`` runs the scenario twice under the same seed and
 exits non-zero if the two telemetry digests differ (the CI smoke matrix
 uses this as its regression gate).  ``--shards`` overrides the
-control-plane shard count; with ``--check-determinism`` the replay runs
-*unsharded* (but keeps any ``--placement``/``--strategy`` override), so
-the check also proves shard-count invariance.
+control-plane shard count and ``--regions`` the federation region count
+(``--shards`` then means shards *per region*); with
+``--check-determinism`` the replay drops both overrides (but keeps any
+``--placement``/``--strategy`` override), so the check also proves
+shard-count and region-count invariance.
 """
 
 from __future__ import annotations
@@ -52,6 +54,15 @@ def main(argv=None) -> int:
         type=int,
         default=None,
         help="control-plane shard count (default: the scenario's own setting)",
+    )
+    parser.add_argument(
+        "--regions",
+        type=int,
+        default=None,
+        help=(
+            "federation region count; --shards then means shards per region "
+            "(default: the scenario's own setting)"
+        ),
     )
     parser.add_argument(
         "--strategy",
@@ -94,6 +105,7 @@ def main(argv=None) -> int:
         args.scenario,
         seed=args.seed,
         shard_count=args.shards,
+        region_count=args.regions,
         migration_strategy=args.strategy,
         placement_strategy=args.placement,
         simulation_mode=args.sim_mode,
@@ -106,8 +118,9 @@ def main(argv=None) -> int:
         )
         return 2
     if args.check_determinism:
-        # Replay unsharded: digests must match across both replays *and*
-        # shard counts, so one comparison checks both properties.
+        # Replay with the spec's own shard/region counts: digests must match
+        # across both replays *and* those knobs, so one comparison checks
+        # determinism plus shard- and region-count invariance.
         again = run_scenario(
             args.scenario,
             seed=args.seed,

@@ -1,0 +1,631 @@
+"""Federated control plane: many regions behind one thin global frontend.
+
+PR 3's :class:`~repro.core.sharding.ShardedManager` scales *one* region to
+many shards; a production operator runs a fleet of regions.  This module
+adds that tier:
+
+* :class:`FederatedManager` owns N regions, each a full ``ShardedManager``
+  with its own shard set over a contiguous band of stations.  Placement and
+  embedding run once, globally, on the federation frontend (the thin-global
+  / fat-local split: regions hold all the per-assignment state, the
+  frontend holds only the client directory, the assignment->region index
+  and the placement engine).
+* Inter-region roaming reuses the shard-handoff machinery one tier up: when
+  the MigrationEngine lands a client's head segment on a station owned by a
+  different region, the source region *releases* the assignment (shard
+  table + scheduler) and the target region *adopts* it, recorded as a
+  :class:`RegionHandoff`.  Remote embedded segments are dispatched and torn
+  down by the federation itself (regions only hold channels for their own
+  band), so a split chain's tail stays correct across the move.
+* Telemetry is aggregated by **streaming rollups**
+  (:mod:`repro.telemetry.rollup`): every shard delivery pushes its deltas
+  up region aggregators into the global rollup, so :meth:`overview` and
+  ``hotspots`` read O(regions) pre-aggregated state.
+  :meth:`full_scan_overview` recomputes the same summary by brute force --
+  the equivalence tests and benchmark E14 compare the two.
+
+Determinism contract (the federation test suite's digest-invariance
+matrix): a scenario replays to a byte-identical
+:class:`~repro.scenarios.digest.MetricsDigest` whether its stations are
+served by 1 region x K shards or R regions x K shards each.  Three choices
+make that hold:
+
+1. **One global ControlBus.**  Per-region buses would flush same-timestamp
+   ticks in first-enqueue order per bus, reordering a cross-region
+   disconnect@A / connect@B pair relative to the single-region run and
+   diverging roaming decisions.  The federation therefore runs a single bus
+   with globally-numbered shard indices; delivery routes *through* the
+   owning region so the rollup pushes still happen region-locally.
+2. **Global placement, regional execution.**  The frontend's engine scores
+   the network-wide station view exactly like a single Manager's would;
+   regions never re-place.
+3. **Synchronous rollups.**  Rollup pushes are plain function calls on the
+   delivery path -- no extra simulator events, so the event timeline is
+   unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.agent import GNFAgent
+from repro.core.api import AgentHeartbeat, ClientEvent, ControlChannel, NFNotificationMessage
+from repro.core.chain import ServiceChain
+from repro.core.errors import UnknownAgentError, UnknownAssignmentError, UnknownClientError
+from repro.core.manager import (
+    Assignment,
+    AssignmentState,
+    ClientEventListener,
+    make_assignment,
+    track_client_event,
+)
+from repro.core.notifications import NotificationCenter
+from repro.core.placement import (
+    PlacementDecision,
+    PlacementEngine,
+    PlacementStrategy,
+    StationView,
+)
+from repro.core.policy import TrafficSelector
+from repro.core.repository import NFRepository
+from repro.core.scheduler import TimeSchedule
+from repro.core.sharding import (
+    ControlBus,
+    ShardedManager,
+    StationShardMap,
+    _ShardSchedulerGroup,
+)
+from repro.netem.simulator import Simulator
+from repro.netem.topology import EdgeTopology
+from repro.telemetry.rollup import GlobalTelemetry
+
+
+@dataclass
+class RegionHandoff:
+    """One cross-region assignment migration, as the federation recorded it.
+
+    The region-tier analogue of :class:`~repro.core.sharding.ShardHandoff`:
+    produced when roaming moves a client's head segment onto a station owned
+    by a different region.  The source region released the assignment, the
+    target region adopted it, and this message is the durable record.
+    """
+
+    assignment_id: str
+    client_ip: str
+    from_region: int
+    to_region: int
+    from_station: str
+    to_station: str
+    time: float
+    #: Carried scheduler state, same contract as the shard-level handoff.
+    schedule_active: bool = True
+
+
+class _FederatedHealth:
+    """Network-wide liveness served from the streaming health rollups.
+
+    List queries are O(regions) merges of per-region cached views; point
+    queries hit the owning region's rollup directly.  Values are exact:
+    :class:`~repro.telemetry.rollup.HealthRollup` replicates the monitor's
+    ``(now - last) <= timeout`` predicate bit-for-bit.
+    """
+
+    def __init__(self, federation: "FederatedManager") -> None:
+        self._federation = federation
+
+    def online_stations(self, now: float) -> List[str]:
+        return self._federation.telemetry.online_stations(now)
+
+    def offline_stations(self, now: float) -> List[str]:
+        return self._federation.telemetry.offline_stations(now)
+
+    def is_online(self, station_name: str, now: float) -> bool:
+        region = self._federation.region_of(station_name)
+        return region.telemetry.health.is_online(station_name, now)
+
+    def heartbeats_received(self, station_name: str) -> int:
+        return self._federation.region_of(station_name).health.heartbeats_received(station_name)
+
+    def __len__(self) -> int:
+        return sum(len(region.telemetry.health) for region in self._federation.regions)
+
+
+class _FederatedHotspots:
+    """Network-wide hotspot view: membership from the global rollup, full
+    records (rarely needed) merged from the per-shard detectors."""
+
+    def __init__(self, federation: "FederatedManager") -> None:
+        self._federation = federation
+
+    def hotspot_stations(self) -> List[str]:
+        return self._federation.telemetry.hotspots.stations()
+
+    @property
+    def hotspots(self):
+        found = [
+            hotspot
+            for region in self._federation.regions
+            for shard in region.shards
+            for hotspot in shard.hotspots.hotspots
+        ]
+        found.sort(key=lambda hotspot: (hotspot.detected_at, hotspot.station_name))
+        return found
+
+    def recent_hotspots(self, since: float):
+        return [hotspot for hotspot in self.hotspots if hotspot.detected_at >= since]
+
+
+class FederatedManager:
+    """N regions (each a ShardedManager) behind one thin global frontend.
+
+    Drop-in for :class:`~repro.core.manager.GNFManager` /
+    :class:`~repro.core.sharding.ShardedManager`: the same attach / detach /
+    register / query API, the same roaming hook
+    (:meth:`assignment_station_changed`), the same aggregate views -- but
+    ``overview()`` and ``hotspots`` are served from the streaming telemetry
+    rollups instead of scanning every station.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        region_count: int,
+        shards_per_region: int = 1,
+        station_count: Optional[int] = None,
+        repository: Optional[NFRepository] = None,
+        topology: Optional[EdgeTopology] = None,
+        placement: Optional[PlacementStrategy] = None,
+        heartbeat_timeout_s: float = 10.0,
+        placement_engine: Optional[PlacementEngine] = None,
+    ) -> None:
+        if region_count < 1:
+            raise ValueError(f"region_count must be >= 1, got {region_count}")
+        if shards_per_region < 1:
+            raise ValueError(f"shards_per_region must be >= 1, got {shards_per_region}")
+        self.simulator = simulator
+        self.repository = repository or NFRepository.with_default_catalog()
+        self.topology = topology
+        if station_count is None:
+            station_count = len(topology.stations) if topology is not None else region_count
+        station_count = max(1, station_count)
+        if region_count > station_count:
+            raise ValueError(
+                f"region_count ({region_count}) cannot exceed station_count ({station_count})"
+            )
+        # Station -> region routing: the same contiguous-band scheme shards
+        # use, one tier up, so geographically adjacent stations share a
+        # region and cross-region roams stay the rare case.
+        self.region_map = StationShardMap(station_count=station_count, shard_count=region_count)
+        self.shards_per_region = shards_per_region
+        # Global placement runs here, against the network-wide station view,
+        # exactly like a single Manager's engine would -- determinism pillar
+        # (2) in the module docstring.
+        self.placement_engine = placement_engine or PlacementEngine(
+            simulator, strategy=placement, repository=self.repository
+        )
+        self.placement_engine.bind(
+            views=self.station_views,
+            on_admit=self._deploy_queued_assignment,
+            on_timeout=self._fail_queued_assignment,
+            locate=lambda client_ip: self.client_locations.get(client_ip),
+        )
+        # One provider-global notification centre shared by every region.
+        self.notifications = NotificationCenter()
+        # The streaming rollup tree: regions attach their aggregation nodes
+        # below this root, shards push deltas region-locally, and every push
+        # propagates here.
+        self.telemetry = GlobalTelemetry()
+        self.regions: List[ShardedManager] = []
+        for region_index in range(region_count):
+            lo, hi = self.region_map.band(region_index)
+            region = ShardedManager(
+                simulator,
+                shard_count=shards_per_region,
+                repository=self.repository,
+                topology=topology,
+                heartbeat_timeout_s=heartbeat_timeout_s,
+                station_range=(lo, hi),
+                notifications=self.notifications,
+                telemetry=self.telemetry.region(f"region-{region_index}", heartbeat_timeout_s),
+            )
+            # Regions only hold channels for their own band; split
+            # embeddings may land segments anywhere, so the federation
+            # dispatches/tears down remote segments on their behalf.
+            region.remote_segment_owner = self
+            # Region-level tracking keeps the region directory; this
+            # listener then runs the *global* tracking (directory + roaming)
+            # synchronously in the same delivery event.
+            region.add_client_event_listener(self._track_global_client_event)
+            self.regions.append(region)
+        # Determinism pillar (1): one globally-ordered bus across all
+        # regions' shards, indexed region_index * shards_per_region + local.
+        self.bus = ControlBus(simulator, region_count * shards_per_region)
+        self.bus.bind(
+            heartbeats=self._deliver_heartbeats,
+            notifications=self._deliver_notifications,
+            event=self._deliver_client_event,
+        )
+        self.agents: Dict[str, GNFAgent] = {}
+        self.channels: Dict[str, ControlChannel] = {}
+        self.assignments: Dict[str, Assignment] = {}
+        self._assignment_region: Dict[str, int] = {}
+        self.client_locations: Dict[str, str] = {}
+        self.client_names: Dict[str, str] = {}
+        self.roaming = None  # set by RoamingCoordinator, exactly like GNFManager
+        self._client_event_listeners: List[ClientEventListener] = []
+        self.handoffs: List[RegionHandoff] = []
+        self.health = _FederatedHealth(self)
+        self.hotspots = _FederatedHotspots(self)
+        self.scheduler = _ShardSchedulerGroup(
+            [shard for region in self.regions for shard in region.shards]
+        )
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def placement(self) -> PlacementStrategy:
+        """The federation's global placement strategy (engine-delegated)."""
+        return self.placement_engine.strategy
+
+    @placement.setter
+    def placement(self, strategy: PlacementStrategy) -> None:
+        self.placement_engine.strategy = strategy
+
+    @property
+    def region_count(self) -> int:
+        return len(self.regions)
+
+    @property
+    def total_shard_count(self) -> int:
+        return len(self.regions) * self.shards_per_region
+
+    @property
+    def heartbeats_processed(self) -> int:
+        return self.telemetry.counters.get("heartbeats_processed")
+
+    @property
+    def client_events_processed(self) -> int:
+        return self.telemetry.counters.get("client_events_processed")
+
+    @property
+    def last_heartbeat(self) -> Dict[str, AgentHeartbeat]:
+        merged: Dict[str, AgentHeartbeat] = {}
+        for region in self.regions:
+            merged.update(region.last_heartbeat)
+        return merged
+
+    def region_index_of(self, station_name: str) -> int:
+        """The region index owning ``station_name``."""
+        return self.region_map.shard_for(station_name)
+
+    def region_of(self, station_name: str) -> ShardedManager:
+        """The region instance owning ``station_name``."""
+        return self.regions[self.region_map.shard_for(station_name)]
+
+    def _global_shard_index(self, station_name: str) -> int:
+        region_index = self.region_map.shard_for(station_name)
+        local_index = self.regions[region_index].shard_map.shard_for(station_name)
+        return region_index * self.shards_per_region + local_index
+
+    # --------------------------------------------------------- registration
+
+    def register_agent(
+        self, agent: GNFAgent, control_latency_s: Optional[float] = None
+    ) -> ControlChannel:
+        """Connect an Agent to its owning region's shard, with the agent's
+        senders routed over the single federation-global bus."""
+        station_name = agent.station.name
+        region = self.region_of(station_name)
+        global_index = self._global_shard_index(station_name)
+
+        def sink_factory(channel: ControlChannel):
+            latency = channel.latency_s
+            return (
+                self.bus.heartbeat_sink(global_index, latency, channel),
+                self.bus.event_sink(global_index, latency, channel),
+                self.bus.notification_sink(global_index, latency, channel),
+            )
+
+        channel = region.register_agent(agent, control_latency_s, sink_factory=sink_factory)
+        self.agents[station_name] = agent
+        self.channels[station_name] = channel
+        return channel
+
+    def agent(self, station_name: str) -> GNFAgent:
+        try:
+            return self.agents[station_name]
+        except KeyError as exc:
+            raise UnknownAgentError(station_name) from exc
+
+    def start(self) -> "FederatedManager":
+        """Start every region (each starts its shards' schedulers)."""
+        for region in self.regions:
+            region.start()
+        return self
+
+    # ------------------------------------------------------------ attach API
+
+    def attach_chain(
+        self,
+        client_ip: str,
+        chain: ServiceChain,
+        selector: Optional[TrafficSelector] = None,
+        schedule: Optional[TimeSchedule] = None,
+        station_name: Optional[str] = None,
+    ) -> Assignment:
+        """Place a chain using the global station view, then route the attach
+        to the region owning the chosen station (which routes it on to the
+        owning shard).  Admission control runs here, network-wide."""
+        client_station = station_name or self.client_locations.get(client_ip)
+        if client_station is None:
+            raise UnknownClientError(
+                f"client {client_ip!r} has no known location; pass station_name explicitly"
+            )
+        decision = self.placement_engine.place(
+            client_station, self.station_views(client_station), chain, client_ip=client_ip
+        )
+        assignment = make_assignment(
+            self.simulator.now, client_ip, chain, selector, schedule, decision.station_name
+        )
+        # Stream assignment-state deltas (active count, enabled NFs) into
+        # the global rollup; the hook travels with the object across
+        # region handoffs.
+        assignment.on_state_change = self._assignment_state_changed
+        self.assignments[assignment.assignment_id] = assignment
+        if decision.admitted:
+            assignment.apply_segments(decision.segments)
+            region_index = self.region_map.shard_for(decision.station_name)
+            self._assignment_region[assignment.assignment_id] = region_index
+            self.regions[region_index].accept_placed_assignment(assignment)
+        elif decision.queued:
+            self.placement_engine.enqueue(assignment, client_station, chain)
+        else:
+            assignment.state = AssignmentState.FAILED
+            assignment.failure_reason = decision.reason
+        return assignment
+
+    def attach_nf(
+        self,
+        client_ip: str,
+        nf_type: str,
+        config: Optional[Dict[str, object]] = None,
+        selector: Optional[TrafficSelector] = None,
+        schedule: Optional[TimeSchedule] = None,
+        station_name: Optional[str] = None,
+    ) -> Assignment:
+        """Attach a single NF (convenience wrapper, mirrors GNFManager)."""
+        return self.attach_chain(
+            client_ip,
+            ServiceChain.single(nf_type, config=config),
+            selector=selector,
+            schedule=schedule,
+            station_name=station_name,
+        )
+
+    def _deploy_queued_assignment(self, assignment: Assignment, decision: PlacementDecision) -> None:
+        """Engine callback: hand a finally-admitted assignment to its region."""
+        if assignment.state is not AssignmentState.PENDING:
+            return  # detached (or failed) while waiting in the queue
+        assignment.station_name = decision.station_name
+        assignment.station_history[-1] = decision.station_name
+        assignment.apply_segments(decision.segments)
+        region_index = self.region_map.shard_for(decision.station_name)
+        self._assignment_region[assignment.assignment_id] = region_index
+        self.regions[region_index].accept_placed_assignment(assignment)
+
+    def _fail_queued_assignment(self, assignment: Assignment, reason: str) -> None:
+        """Engine callback: a queued placement timed out on the frontend."""
+        if assignment.state is AssignmentState.PENDING:
+            assignment.state = AssignmentState.FAILED
+            assignment.failure_reason = reason
+
+    def detach(self, assignment_id: str) -> Assignment:
+        """Tear down an assignment in whichever region currently owns it."""
+        region_index = self._assignment_region.get(assignment_id)
+        if region_index is None:
+            # Never handed to a region: still queued for admission on the
+            # frontend (or already failed there).  Nothing was deployed.
+            assignment = self.assignments.get(assignment_id)
+            if assignment is None:
+                raise UnknownAssignmentError(assignment_id)
+            self.placement_engine.cancel(assignment_id)
+            assignment.state = AssignmentState.REMOVED
+            if self.roaming is not None:
+                self.roaming.assignment_released(assignment_id)
+            return assignment
+        assignment = self.regions[region_index].detach(assignment_id)
+        # Regions have no roaming hook (roaming is federation-global), so
+        # release the coordinator's staged state here.
+        if self.roaming is not None:
+            self.roaming.assignment_released(assignment_id)
+        return assignment
+
+    # ---------------------------------------------------------- bus delivery
+
+    def _deliver_heartbeats(self, global_index: int, batch: List[AgentHeartbeat]) -> None:
+        region_index, local_index = divmod(global_index, self.shards_per_region)
+        self.regions[region_index]._deliver_heartbeats(local_index, batch)
+
+    def _deliver_notifications(
+        self, global_index: int, batch: List[NFNotificationMessage]
+    ) -> None:
+        region_index, local_index = divmod(global_index, self.shards_per_region)
+        self.regions[region_index]._deliver_notifications(local_index, batch)
+
+    def _deliver_client_event(self, global_index: int, event: ClientEvent) -> None:
+        # The region runs shard + region-directory bookkeeping, then its
+        # listener chain invokes ``_track_global_client_event`` below --
+        # all synchronously inside this one delivery event, so the global
+        # tracking happens at exactly the times a single-region run's would.
+        region_index, local_index = divmod(global_index, self.shards_per_region)
+        self.regions[region_index]._deliver_client_event(local_index, event)
+
+    def _track_global_client_event(self, event: ClientEvent) -> None:
+        track_client_event(self, event)
+
+    def receive_client_event(self, event: ClientEvent) -> None:
+        """Direct (bus-bypassing) delivery, for tests and synthetic drivers --
+        mirrors ``GNFManager.receive_client_event`` semantics."""
+        self._deliver_client_event(self._global_shard_index(event.station_name), event)
+
+    def add_client_event_listener(self, listener: ClientEventListener) -> None:
+        self._client_event_listeners.append(listener)
+
+    # -------------------------------------------------------------- handoff
+
+    def assignment_station_changed(self, assignment: Assignment, old_station: str) -> None:
+        """Roaming hook: same-region moves delegate to the region (which
+        handles its own cross-shard handoffs); a region-boundary move is the
+        explicit release/adopt handoff one tier up."""
+        assignment_id = assignment.assignment_id
+        source_index = self._assignment_region.get(assignment_id)
+        if source_index is None:
+            return
+        target_index = self.region_map.shard_for(assignment.station_name)
+        if target_index == source_index:
+            self.regions[source_index].assignment_station_changed(assignment, old_station)
+            return
+        schedule_active = self.regions[source_index].release_assignment(assignment_id)
+        self.regions[target_index].adopt_assignment(assignment, schedule_active=schedule_active)
+        self._assignment_region[assignment_id] = target_index
+        self.handoffs.append(
+            RegionHandoff(
+                assignment_id=assignment_id,
+                client_ip=assignment.client_ip,
+                from_region=source_index,
+                to_region=target_index,
+                from_station=old_station,
+                to_station=assignment.station_name,
+                time=self.simulator.now,
+                schedule_active=schedule_active,
+            )
+        )
+
+    # ------------------------------------------------------- state streaming
+
+    def _assignment_state_changed(
+        self, assignment: Assignment, old_state: AssignmentState, new_state: AssignmentState
+    ) -> None:
+        counters = self.telemetry.counters
+        if old_state is AssignmentState.ACTIVE:
+            counters.add("active_assignments", -1)
+            counters.add("enabled_nfs", -len(assignment.chain))
+        if new_state is AssignmentState.ACTIVE:
+            counters.add("active_assignments", 1)
+            counters.add("enabled_nfs", len(assignment.chain))
+
+    # -------------------------------------------------------------- queries
+
+    def assignments_for_client(self, client_ip: str) -> List[Assignment]:
+        return [a for a in self.assignments.values() if a.client_ip == client_ip]
+
+    def station_views(self, client_station: Optional[str] = None) -> List[StationView]:
+        """Placement candidates for **every** station, across all regions.
+
+        Regions cover contiguous, ordered station bands, so concatenating
+        them in region order preserves the global station order a single
+        Manager would present -- placement tie-breaks stay identical."""
+        views: List[StationView] = []
+        for region in self.regions:
+            views.extend(region.station_views(client_station))
+        return views
+
+    def connected_client_ips(self) -> List[str]:
+        """The global directory's view of currently connected clients."""
+        return sorted(self.client_locations)
+
+    def station_provenance(self) -> Dict[str, str]:
+        """Station -> ``region-r/shard-s`` labels for digest diffs."""
+        provenance: Dict[str, str] = {}
+        for region_index, region in enumerate(self.regions):
+            for name, label in region.station_provenance().items():
+                provenance[name] = f"region-{region_index}/{label}"
+        return provenance
+
+    def overview(self) -> Dict[str, object]:
+        """The network-wide summary, served from the streaming rollups.
+
+        O(regions) merges for the station lists, O(1) counter lookups for
+        everything else -- no per-station or per-assignment scan.
+        ``connected_clients`` is reported as a *count* at this tier (the
+        full listing is a directory query, :meth:`connected_client_ips`).
+        """
+        now = self.simulator.now
+        counters = self.telemetry.counters
+        return {
+            "time": now,
+            "online_stations": self.telemetry.online_stations(now),
+            "offline_stations": self.telemetry.offline_stations(now),
+            "connected_clients": len(self.client_locations),
+            "assignments": len(self.assignments),
+            "active_assignments": counters.get("active_assignments"),
+            "enabled_nfs": counters.get("enabled_nfs"),
+            "hotspot_stations": self.telemetry.hotspots.stations(),
+            "notifications": self.notifications.summary(),
+            "heartbeats_processed": counters.get("heartbeats_processed"),
+            "regions": self.region_count,
+            "shards": self.total_shard_count,
+            "cross_region_handoffs": len(self.handoffs),
+            "cross_shard_handoffs": sum(len(region.handoffs) for region in self.regions),
+        }
+
+    def full_scan_overview(self) -> Dict[str, object]:
+        """Brute-force recomputation of :meth:`overview` from per-station /
+        per-assignment state (the pre-federation pull path).
+
+        The rollup-equivalence tests assert this equals :meth:`overview`
+        after every canned scenario, and benchmark E14 measures how much
+        slower it is at fleet scale.
+        """
+        now = self.simulator.now
+        online = sorted(
+            name for region in self.regions for name in region.health.online_stations(now)
+        )
+        offline = sorted(
+            name for region in self.regions for name in region.health.offline_stations(now)
+        )
+        active = [a for a in self.assignments.values() if a.state is AssignmentState.ACTIVE]
+        hotspots = sorted(
+            {name for region in self.regions for name in region.hotspots.hotspot_stations()}
+        )
+        return {
+            "time": now,
+            "online_stations": online,
+            "offline_stations": offline,
+            "connected_clients": len(self.connected_client_ips()),
+            "assignments": len(self.assignments),
+            "active_assignments": len(active),
+            "enabled_nfs": sum(len(a.chain) for a in active),
+            "hotspot_stations": hotspots,
+            "notifications": self.notifications.summary(),
+            "heartbeats_processed": sum(
+                shard.heartbeats_processed for region in self.regions for shard in region.shards
+            ),
+            "regions": self.region_count,
+            "shards": self.total_shard_count,
+            "cross_region_handoffs": len(self.handoffs),
+            "cross_shard_handoffs": sum(len(region.handoffs) for region in self.regions),
+        }
+
+    def control_plane_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-station control-channel statistics, merged across regions."""
+        return {name: channel.stats() for name, channel in self.channels.items()}
+
+    def region_stats(self) -> Dict[str, object]:
+        """Per-region load, the global bus counters and the rollup tree."""
+        per_region: Dict[str, object] = {}
+        for index, region in enumerate(self.regions):
+            per_region[f"region-{index}"] = {
+                "stations": float(len(region.agents)),
+                "assignments": float(len(region.assignments)),
+                "heartbeats_processed": float(region.heartbeats_processed),
+                "client_events_processed": float(region.client_events_processed),
+                "cross_shard_handoffs": float(len(region.handoffs)),
+            }
+        return {
+            "regions": per_region,
+            "bus": self.bus.stats(),
+            "cross_region_handoffs": float(len(self.handoffs)),
+            "rollup": self.telemetry.stats(),
+        }

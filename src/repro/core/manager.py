@@ -90,6 +90,26 @@ class Assignment:
     #: turns ACTIVE only when this reaches zero.
     segments_pending: int = 0
     _segment_chains: List[ServiceChain] = field(default_factory=list, repr=False)
+    #: Optional observer fired as ``hook(assignment, old_state, new_state)``
+    #: whenever ``state`` is reassigned.  The federation frontend installs it
+    #: to stream active-assignment / enabled-NF deltas into the global rollup
+    #: without scanning the assignment table; it travels with the object
+    #: through release/adopt handoffs.  Excluded from repr/compare so
+    #: assignments stay digest-neutral.
+    on_state_change: Optional[Callable[["Assignment", AssignmentState, AssignmentState], None]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __setattr__(self, name: str, value) -> None:
+        if name == "state":
+            old = getattr(self, "state", None)
+            object.__setattr__(self, name, value)
+            hook = getattr(self, "on_state_change", None)
+            # ``old is None`` is the dataclass-init first write; skip it.
+            if hook is not None and old is not None and old is not value:
+                hook(self, old, value)
+            return
+        object.__setattr__(self, name, value)
 
     @property
     def attach_latency_s(self) -> Optional[float]:

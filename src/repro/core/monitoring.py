@@ -13,7 +13,7 @@ that should be upgraded."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.telemetry.metrics import MetricsRegistry
 
@@ -98,6 +98,11 @@ class HotspotDetector:
         self.memory_threshold = memory_threshold
         self.cpu_seconds_rate_threshold = cpu_seconds_rate_threshold
         self.hotspots: List[Hotspot] = []
+        #: Optional push hook fired once per detected hotspot, at detection
+        #: time.  The sharded/federated managers use it to stream hotspot
+        #: sightings into the telemetry rollups instead of re-scanning
+        #: ``self.hotspots`` on every read.
+        self.on_hotspot: Optional[Callable[[Hotspot], None]] = None
         self._last_cpu_seconds: Dict[str, float] = {}
         self._last_sample_time: Dict[str, float] = {}
 
@@ -133,6 +138,9 @@ class HotspotDetector:
         self._last_cpu_seconds[station_name] = total_cpu
         self._last_sample_time[station_name] = now
         self.hotspots.extend(found)
+        if self.on_hotspot is not None:
+            for hotspot in found:
+                self.on_hotspot(hotspot)
         return found
 
     def hotspot_stations(self) -> List[str]:

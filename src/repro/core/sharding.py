@@ -67,11 +67,13 @@ from repro.core.placement import (
     PlacementStrategy,
     StationView,
 )
+from repro.core.monitoring import Hotspot
 from repro.core.policy import TrafficSelector
 from repro.core.repository import NFRepository
 from repro.core.scheduler import TimeSchedule
 from repro.netem.simulator import Simulator
 from repro.netem.topology import EdgeTopology
+from repro.telemetry.rollup import RegionTelemetry
 
 _STATION_INDEX = re.compile(r"(\d+)$")
 
@@ -87,21 +89,26 @@ class StationShardMap:
     the adjacency guarantee).
     """
 
-    def __init__(self, station_count: int, shard_count: int) -> None:
+    def __init__(self, station_count: int, shard_count: int, first_index: int = 1) -> None:
         if shard_count < 1:
             raise ValueError(f"shard_count must be >= 1, got {shard_count}")
         if station_count < 1:
             raise ValueError(f"station_count must be >= 1, got {station_count}")
         self.station_count = station_count
         self.shard_count = shard_count
+        #: First 1-based station index this map covers.  The default covers
+        #: the whole network; a federation region's internal map covers only
+        #: its band, e.g. ``first_index=5, station_count=4`` for stations
+        #: 5..8 split across the region's local shards.
+        self.first_index = first_index
 
     def shard_for(self, station_name: str) -> int:
         """The shard index owning ``station_name``."""
         match = _STATION_INDEX.search(station_name)
         if match is not None:
-            index = int(match.group(1))
-            if 1 <= index <= self.station_count:
-                return (index - 1) * self.shard_count // self.station_count
+            offset = int(match.group(1)) - self.first_index
+            if 0 <= offset < self.station_count:
+                return offset * self.shard_count // self.station_count
         return zlib.crc32(station_name.encode("utf-8")) % self.shard_count
 
     def band(self, shard_index: int) -> Tuple[int, int]:
@@ -116,7 +123,8 @@ class StationShardMap:
             (i for i in range(1, self.station_count + 1) if (i - 1) * self.shard_count // self.station_count == shard_index),
             default=-1,
         )
-        return (lo, hi)
+        base = self.first_index - 1
+        return (lo + base if lo else 0, hi + base if hi != -1 else -1)
 
 
 @dataclass
@@ -371,6 +379,9 @@ class ShardedManager:
         placement: Optional[PlacementStrategy] = None,
         heartbeat_timeout_s: float = 10.0,
         placement_engine: Optional[PlacementEngine] = None,
+        station_range: Optional[Tuple[int, int]] = None,
+        notifications: Optional[NotificationCenter] = None,
+        telemetry: Optional[RegionTelemetry] = None,
     ) -> None:
         self.simulator = simulator
         self.repository = repository or NFRepository.with_default_catalog()
@@ -387,13 +398,35 @@ class ShardedManager:
             on_timeout=self._fail_queued_assignment,
             locate=lambda client_ip: self.client_locations.get(client_ip),
         )
-        if station_count is None:
-            station_count = len(topology.stations) if topology is not None else shard_count
-        self.shard_map = StationShardMap(station_count=max(1, station_count), shard_count=shard_count)
+        if station_range is not None:
+            # A federation region: this manager owns only the 1-based station
+            # index band [lo, hi], sharded locally.
+            lo, hi = station_range
+            self.shard_map = StationShardMap(
+                station_count=max(1, hi - lo + 1), shard_count=shard_count, first_index=lo
+            )
+        else:
+            if station_count is None:
+                station_count = len(topology.stations) if topology is not None else shard_count
+            self.shard_map = StationShardMap(
+                station_count=max(1, station_count), shard_count=shard_count
+            )
         # One notification centre shared by every shard: notifications are a
         # provider-global stream (the UI and the fault injector publish and
-        # read it without caring which shard relayed the message).
-        self.notifications = NotificationCenter()
+        # read it without caring which shard relayed the message).  A
+        # federation passes its single global centre in.
+        self.notifications = notifications if notifications is not None else NotificationCenter()
+        # Streaming telemetry rollup node.  Standalone, this aggregates the
+        # manager's own shards; under a FederatedManager the node is parented
+        # to the global rollup, so every shard push lands there too.
+        self.telemetry = telemetry if telemetry is not None else RegionTelemetry(
+            "region", heartbeat_timeout_s=heartbeat_timeout_s
+        )
+        # Who dispatches/tears down a split assignment's *remote* segments.
+        # Standalone, this frontend holds channels to every station; as a
+        # federation region it only sees its band, so the federation rebinds
+        # this to itself after construction.
+        self.remote_segment_owner = self
         self.shards: List[GNFManager] = []
         for _ in range(shard_count):
             # Shards get the trivial placement: the frontend already ran the
@@ -412,6 +445,8 @@ class ShardedManager:
             # dispatches and tears down remote segments on behalf of shards.
             shard.remote_segment_dispatcher = self._dispatch_remote_segments
             shard.remote_segment_teardown = self._teardown_remote_segments
+            # Stream hotspot sightings into the rollup at detection time.
+            shard.hotspots.on_hotspot = self._observe_hotspot
             self.shards.append(shard)
         self.bus = ControlBus(simulator, shard_count)
         self.bus.bind(
@@ -466,23 +501,37 @@ class ShardedManager:
 
     # --------------------------------------------------------- registration
 
-    def register_agent(self, agent: GNFAgent, control_latency_s: Optional[float] = None) -> ControlChannel:
-        """Connect an Agent to its owning shard, with bus-coalesced senders."""
+    def register_agent(
+        self,
+        agent: GNFAgent,
+        control_latency_s: Optional[float] = None,
+        sink_factory=None,
+    ) -> ControlChannel:
+        """Connect an Agent to its owning shard, with bus-coalesced senders.
+
+        ``sink_factory`` overrides the sender wiring: a FederatedManager
+        registers agents through its regions but routes their traffic over
+        the *federation* bus (one globally-ordered bus keeps cross-region
+        client events in the same order a single-region run would see).
+        """
         station_name = agent.station.name
         shard_index = self.shard_map.shard_for(station_name)
         shard = self.shards[shard_index]
 
-        def sink_factory(channel: ControlChannel):
-            latency = channel.latency_s
-            return (
-                self.bus.heartbeat_sink(shard_index, latency, channel),
-                self.bus.event_sink(shard_index, latency, channel),
-                self.bus.notification_sink(shard_index, latency, channel),
-            )
+        if sink_factory is None:
+
+            def sink_factory(channel: ControlChannel):
+                latency = channel.latency_s
+                return (
+                    self.bus.heartbeat_sink(shard_index, latency, channel),
+                    self.bus.event_sink(shard_index, latency, channel),
+                    self.bus.notification_sink(shard_index, latency, channel),
+                )
 
         channel = shard.register_agent(agent, control_latency_s, sink_factory=sink_factory)
         self.agents[station_name] = agent
         self.channels[station_name] = channel
+        self.telemetry.health.record(station_name, self.simulator.now)
         return channel
 
     def agent(self, station_name: str) -> GNFAgent:
@@ -566,11 +615,11 @@ class ShardedManager:
         routed back into that shard's assignment state machine.
         """
         shard = self.shards[self._assignment_shard[assignment.assignment_id]]
-        dispatch_remote_segments(self, assignment, shard._deployment_finished)
+        dispatch_remote_segments(self.remote_segment_owner, assignment, shard._deployment_finished)
 
     def _teardown_remote_segments(self, assignment: Assignment) -> None:
         """Tear down remote segments with the frontend's global channels."""
-        teardown_remote_segments(self, assignment)
+        teardown_remote_segments(self.remote_segment_owner, assignment)
 
     def _fail_queued_assignment(self, assignment: Assignment, reason: str) -> None:
         """Engine callback: a queued placement timed out on the frontend."""
@@ -620,9 +669,18 @@ class ShardedManager:
     # ---------------------------------------------------------- bus delivery
 
     def _deliver_heartbeats(self, shard_index: int, batch: List[AgentHeartbeat]) -> None:
+        # Push the streaming rollup deltas first (plain synchronous calls;
+        # no simulator events, so delivery order/time is unchanged), then
+        # hand the batch to the shard's scan-era entry point.
+        self.telemetry.shard_node(shard_index).add("heartbeats_processed", len(batch))
+        health = self.telemetry.health
+        now = self.simulator.now
+        for heartbeat in batch:
+            health.record(heartbeat.station_name, now)
         self.shards[shard_index].receive_heartbeat_batch(batch)
 
     def _deliver_notifications(self, shard_index: int, batch: List[NFNotificationMessage]) -> None:
+        self.telemetry.shard_node(shard_index).add("notifications_processed", len(batch))
         self.shards[shard_index].receive_notification_batch(batch)
 
     def _deliver_client_event(self, shard_index: int, event: ClientEvent) -> None:
@@ -630,8 +688,12 @@ class ShardedManager:
         # the shard has no roaming hook), then the same shared tracking a
         # single Manager runs -- here against the global directory, the
         # global assignment index and the network-wide roaming coordinator.
+        self.telemetry.shard_node(shard_index).add("client_events_processed", 1)
         self.shards[shard_index].receive_client_event(event)
         track_client_event(self, event)
+
+    def _observe_hotspot(self, hotspot: Hotspot) -> None:
+        self.telemetry.hotspots.record(hotspot.station_name)
 
     def add_client_event_listener(self, listener: ClientEventListener) -> None:
         self._client_event_listeners.append(listener)
@@ -664,10 +726,44 @@ class ShardedManager:
             )
         )
 
+    # ------------------------------------------------- region-level handoff
+
+    def release_assignment(self, assignment_id: str) -> bool:
+        """Drop an assignment from this manager entirely (cross-*region*
+        handoff source side): the owning shard releases it from its table and
+        scheduler, and the frontend indexes forget it.  Returns whether the
+        schedule considered it active, exactly like the shard primitive."""
+        shard_index = self._assignment_shard.pop(assignment_id)
+        self.assignments.pop(assignment_id, None)
+        return self.shards[shard_index].release_assignment(assignment_id)
+
+    def adopt_assignment(self, assignment: Assignment, schedule_active: bool = True) -> None:
+        """Adopt a released assignment (cross-*region* handoff target side):
+        route it to the shard owning its new home station and resume its
+        schedule tracking from the carried state."""
+        shard_index = self.shard_map.shard_for(assignment.station_name)
+        self.assignments[assignment.assignment_id] = assignment
+        self._assignment_shard[assignment.assignment_id] = shard_index
+        self.shards[shard_index].adopt_assignment(assignment, schedule_active=schedule_active)
+
+    def accept_placed_assignment(self, assignment: Assignment) -> None:
+        """Accept an assignment the federation frontend already placed
+        globally: index it here and hand it to the owning shard's deployment
+        state machine (mirrors the shard-level primitive one tier up)."""
+        shard_index = self.shard_map.shard_for(assignment.station_name)
+        self.assignments[assignment.assignment_id] = assignment
+        self._assignment_shard[assignment.assignment_id] = shard_index
+        self.shards[shard_index].accept_placed_assignment(assignment)
+
     # -------------------------------------------------------------- queries
 
     def assignments_for_client(self, client_ip: str) -> List[Assignment]:
         return [a for a in self.assignments.values() if a.client_ip == client_ip]
+
+    def station_provenance(self) -> Dict[str, str]:
+        """Station -> ``shard-i`` labels (digest diffs use these to point a
+        mismatch at the owning shard)."""
+        return {name: f"shard-{self.shard_map.shard_for(name)}" for name in self.agents}
 
     def station_views(self, client_station: Optional[str] = None) -> List[StationView]:
         """Placement candidates for **every** station, across all shards."""
@@ -717,4 +813,5 @@ class ShardedManager:
             "shards": per_shard,
             "bus": self.bus.stats(),
             "cross_shard_handoffs": float(len(self.handoffs)),
+            "rollup": self.telemetry.stats(),
         }

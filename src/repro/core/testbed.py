@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.agent import GNFAgent
+from repro.core.federation import FederatedManager
 from repro.core.manager import GNFManager
 from repro.core.placement import (
     AdmissionPolicy,
@@ -110,6 +111,14 @@ class TestbedConfig:
     #: stations into contiguous bands and coalesces agent->Manager traffic
     #: through a ControlBus.  Scenario digests are identical either way.
     shard_count: int = 1
+    #: Number of federation regions.  1 (the default) keeps the single
+    #: region-level control plane above; >1 builds a
+    #: :class:`~repro.core.federation.FederatedManager` owning that many
+    #: regions, each a ShardedManager with ``shard_count`` *local* shards
+    #: over its contiguous station band, with streaming telemetry rollups
+    #: and cross-region roaming handoffs.  Scenario digests are identical
+    #: across region counts.
+    region_count: int = 1
     #: ``packet`` (the historical pure packet-level engine) or ``hybrid``
     #: (bulk flows become fluid rate processes solved per-link, demoted to
     #: packets inside fidelity islands -- see :mod:`repro.netem.fluid`).
@@ -154,6 +163,13 @@ class GNFTestbed:
         self.repository = NFRepository.with_default_catalog()
         if self.config.shard_count < 1:
             raise ValueError(f"shard_count must be >= 1, got {self.config.shard_count}")
+        if self.config.region_count < 1:
+            raise ValueError(f"region_count must be >= 1, got {self.config.region_count}")
+        if self.config.region_count > self.config.station_count:
+            raise ValueError(
+                f"region_count ({self.config.region_count}) cannot exceed "
+                f"station_count ({self.config.station_count})"
+            )
         strategy = self.config.placement or make_strategy(self.config.placement_strategy)
         self.placement_engine = PlacementEngine(
             self.simulator,
@@ -167,7 +183,18 @@ class GNFTestbed:
             # Commitments only need to bridge the heartbeat blind window.
             pending_ttl_s=self.config.heartbeat_interval_s + 1.0,
         )
-        if self.config.shard_count > 1:
+        if self.config.region_count > 1:
+            # Federation tier: ``shard_count`` becomes shards *per region*.
+            self.manager = FederatedManager(
+                self.simulator,
+                region_count=self.config.region_count,
+                shards_per_region=self.config.shard_count,
+                station_count=self.config.station_count,
+                repository=self.repository,
+                topology=self.topology,
+                placement_engine=self.placement_engine,
+            )
+        elif self.config.shard_count > 1:
             self.manager = ShardedManager(
                 self.simulator,
                 shard_count=self.config.shard_count,

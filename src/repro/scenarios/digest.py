@@ -52,23 +52,66 @@ class MetricsDigest:
 
     hexdigest: str
     components: Dict[str, str] = field(default_factory=dict)
+    #: One hash per first-level key of every dict-valued section
+    #: (``"stations/station-3"``), so :meth:`diff` can localise a mismatch
+    #: below the section level.  Derived data: excluded from equality (the
+    #: overall hash is still computed from the section hashes alone).
+    subsections: Dict[str, str] = field(default_factory=dict, compare=False)
+    #: Optional station -> ``region-r/shard-s`` labels supplied by the run's
+    #: manager.  Never hashed and never compared -- two digests of the same
+    #: behaviour under different region/shard counts are equal even though
+    #: their provenance differs; diff output uses *both* sides' labels.
+    provenance: Dict[str, str] = field(default_factory=dict, compare=False)
 
     @classmethod
-    def compute(cls, sections: Dict[str, Any]) -> "MetricsDigest":
+    def compute(
+        cls, sections: Dict[str, Any], provenance: Dict[str, str] = None
+    ) -> "MetricsDigest":
         """Digest a ``{section_name: telemetry_tree}`` mapping."""
         canonical = {name: canonicalize(tree) for name, tree in sections.items()}
         components = {name: _sha256(tree) for name, tree in canonical.items()}
+        subsections = {
+            f"{name}/{key}": _sha256(sub)
+            for name, tree in canonical.items()
+            if isinstance(tree, dict)
+            for key, sub in tree.items()
+        }
         overall = _sha256({name: components[name] for name in sorted(components)})
-        return cls(hexdigest=overall, components=components)
+        return cls(
+            hexdigest=overall,
+            components=components,
+            subsections=subsections,
+            provenance=dict(provenance or {}),
+        )
 
     def diff(self, other: "MetricsDigest") -> List[str]:
-        """Names of the sections whose hashes differ (for loud test failures)."""
-        names = sorted(set(self.components) | set(other.components))
-        return [
-            name
-            for name in names
-            if self.components.get(name) != other.components.get(name)
-        ]
+        """The finest-grained keys whose hashes differ (for loud test
+        failures): ``"section/key"`` when the mismatch localises below a
+        dict-valued section, the bare section name otherwise.  Keys that
+        name a station carry its region/shard provenance --
+        ``"stations/station-3 [region-1/shard-0]"`` -- so a cross-region
+        digest mismatch points at the owning shard, not just the aggregate.
+        """
+        out: List[str] = []
+        for name in sorted(set(self.components) | set(other.components)):
+            if self.components.get(name) == other.components.get(name):
+                continue
+            prefix = f"{name}/"
+            keys = sorted(
+                {key for key in self.subsections if key.startswith(prefix)}
+                | {key for key in other.subsections if key.startswith(prefix)}
+            )
+            fine = [
+                key for key in keys if self.subsections.get(key) != other.subsections.get(key)
+            ]
+            if not fine:
+                out.append(name)
+                continue
+            for key in fine:
+                leaf = key[len(prefix):]
+                label = self.provenance.get(leaf) or other.provenance.get(leaf)
+                out.append(f"{key} [{label}]" if label else key)
+        return out
 
     @property
     def short(self) -> str:

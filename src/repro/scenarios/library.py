@@ -70,6 +70,7 @@ def run_scenario(
     migration_strategy: Optional[str] = None,
     placement_strategy: Optional[str] = None,
     simulation_mode: Optional[str] = None,
+    region_count: Optional[int] = None,
 ) -> ScenarioResult:
     """Build and run a canned scenario in one call.
 
@@ -83,12 +84,15 @@ def run_scenario(
     ``simulation_mode`` overrides the topology's ``packet``/``hybrid``
     engine selection; scenarios without bulk workloads (see
     :func:`scenario_has_bulk`) digest identically under either mode.
+    ``region_count`` overrides the federation region count (shard_count then
+    means shards *per region*); the digest is identical for any value.
     """
     return ScenarioRunner(build_scenario(name, seed)).run(
         shard_count=shard_count,
         migration_strategy=migration_strategy,
         placement_strategy=placement_strategy,
         simulation_mode=simulation_mode,
+        region_count=region_count,
     )
 
 
@@ -221,6 +225,74 @@ def _commuter_rush(seed: int) -> ScenarioSpec:
             station_spacing_m=80.0,
             migration_strategy="cold",
             handover_scan_jitter_s=0.05,
+        ),
+        fleets=fleets,
+        assignments=assignments,
+    )
+
+
+@register_scenario("federated-commuters")
+def _federated_commuters(seed: int) -> ScenarioSpec:
+    """Cross-region roaming storm: commuters shuttle over a region boundary.
+
+    Four stations split into two federation regions of two local shards
+    each (stations 1-2 = region 0, stations 3-4 = region 1).  The commuters
+    anchor on the stations either side of the boundary, so every shuttle is
+    a cross-*region* handoff: head-segment migration plus release/adopt
+    between the regions' shard sets, with the streaming rollups tracking
+    the move.  The federation test suite replays this spec across region
+    counts to assert digest invariance.
+    """
+    rng = _builder_rng(seed, "federated-commuters")
+    fleets = []
+    assignments = []
+    for index in range(4):
+        name = f"fedcommuter{index + 1}"
+        speed = rng.uniform(6.0, 10.0)
+        dwell = rng.uniform(4.0, 8.0)
+        start = rng.uniform(2.0, 6.0)
+        fleets.append(
+            ClientFleetSpec(
+                name=name,
+                count=1,
+                position=(80.0, float(index) * 2.0),
+                mobility=MobilitySpec(
+                    model="commuter",
+                    start_s=start,
+                    params={
+                        # station-2 (region 0) <-> station-3 (region 1).
+                        "anchor_a": (80.0, float(index) * 2.0),
+                        "anchor_b": (160.0, float(index) * 2.0),
+                        "speed_mps": speed,
+                        "dwell_s": dwell,
+                    },
+                ),
+                workloads=[
+                    WorkloadSpec(kind="http", start_s=2.0, params={"mean_think_time_s": 1.0}),
+                    WorkloadSpec(kind="dns", start_s=2.5, params={"query_interval_s": 2.0}),
+                ],
+            )
+        )
+        assignments.append(
+            ChainAssignmentSpec(fleet=name, nfs=["firewall"], attach_at_s=1.0 + 0.2 * index)
+        )
+    return ScenarioSpec(
+        name="federated-commuters",
+        description=(
+            "Four commuters shuttle across the boundary between two "
+            "federation regions (two local shards each) with web+DNS "
+            "traffic and a firewall each: every roam is a cross-region "
+            "handoff through the release/adopt machinery."
+        ),
+        seed=seed,
+        duration_s=90.0,
+        topology=TopologySpec(
+            station_count=4,
+            station_spacing_m=80.0,
+            migration_strategy="cold",
+            handover_scan_jitter_s=0.05,
+            region_count=2,
+            shard_count=2,
         ),
         fleets=fleets,
         assignments=assignments,

@@ -135,6 +135,7 @@ class ScenarioRun:
         migration_strategy: Optional[str] = None,
         placement_strategy: Optional[str] = None,
         simulation_mode: Optional[str] = None,
+        region_count: Optional[int] = None,
     ) -> None:
         self.spec = spec.validate()
         self.seed = spec.seed if seed is None else seed
@@ -144,6 +145,14 @@ class ScenarioRun:
             # The override must obey the same rule TopologySpec.validate()
             # enforces on the spec's own value.
             raise ScenarioSpecError(f"shard_count must be >= 1, got {self.shard_count}")
+        self.region_count = topo.region_count if region_count is None else region_count
+        if self.region_count < 1:
+            raise ScenarioSpecError(f"region_count must be >= 1, got {self.region_count}")
+        if self.region_count > topo.station_count:
+            raise ScenarioSpecError(
+                f"region_count ({self.region_count}) cannot exceed "
+                f"station_count ({topo.station_count})"
+            )
         self.migration_strategy = (
             topo.migration_strategy if migration_strategy is None else migration_strategy
         )
@@ -201,6 +210,7 @@ class ScenarioRun:
                 autoscale_down_threshold=topo.autoscale_down_threshold,
                 autoscale_max_replicas=topo.autoscale_max_replicas,
                 shard_count=self.shard_count,
+                region_count=self.region_count,
                 simulation_mode=self.simulation_mode,
                 fluid_epoch_s=topo.fluid_epoch_s,
             )
@@ -412,7 +422,11 @@ class ScenarioRun:
         """Digest the telemetry, tear everything down and drain the queue."""
         if self._finalized is not None:
             return self._finalized
-        digest = MetricsDigest.compute(self.telemetry_sections())
+        # Station -> region/shard labels (empty for a single GNFManager) let
+        # MetricsDigest.diff() point a cross-region mismatch at the owning
+        # shard; provenance is excluded from the hash itself.
+        provenance = getattr(self.testbed.manager, "station_provenance", lambda: {})()
+        digest = MetricsDigest.compute(self.telemetry_sections(), provenance=provenance)
         workload_stats = {
             name: generator.stats() for name, generator in sorted(self.generators.items())
         }
@@ -608,6 +622,7 @@ class ScenarioRunner:
         migration_strategy: Optional[str] = None,
         placement_strategy: Optional[str] = None,
         simulation_mode: Optional[str] = None,
+        region_count: Optional[int] = None,
     ) -> ScenarioRun:
         """Build and start a live run (use for phased/mid-run observation).
 
@@ -628,7 +643,10 @@ class ScenarioRunner:
         strategy the digest matches the historical closest-agent behaviour.
         ``simulation_mode`` overrides the topology's ``packet``/``hybrid``
         engine selection; scenarios without bulk workloads digest
-        identically under either mode.
+        identically under either mode.  ``region_count`` overrides the
+        topology's federation region count; like shard_count, the digest is
+        identical for any value (the federation invariance matrix asserts
+        1 region x K shards == R regions x K shards each).
         """
         return ScenarioRun(
             self.spec,
@@ -637,6 +655,7 @@ class ScenarioRunner:
             migration_strategy=migration_strategy,
             placement_strategy=placement_strategy,
             simulation_mode=simulation_mode,
+            region_count=region_count,
         )
 
     def run(
@@ -646,6 +665,7 @@ class ScenarioRunner:
         migration_strategy: Optional[str] = None,
         placement_strategy: Optional[str] = None,
         simulation_mode: Optional[str] = None,
+        region_count: Optional[int] = None,
     ) -> ScenarioResult:
         """Run the whole scenario; ``seed`` overrides runtime RNGs (see start)."""
         run = self.start(
@@ -654,6 +674,7 @@ class ScenarioRunner:
             migration_strategy=migration_strategy,
             placement_strategy=placement_strategy,
             simulation_mode=simulation_mode,
+            region_count=region_count,
         )
         run.advance(self.spec.duration_s)
         return run.finalize()

@@ -339,6 +339,11 @@ class TopologySpec:
     #: replays to the identical MetricsDigest for any shard count -- the
     #: knob trades control-plane event overhead, not behaviour.
     shard_count: int = 1
+    #: Federation regions (1 = no federation tier).  With >1 the testbed
+    #: builds a :class:`~repro.core.federation.FederatedManager` owning
+    #: ``region_count`` regions of ``shard_count`` local shards each; a
+    #: scenario replays to the identical MetricsDigest for any region count.
+    region_count: int = 1
     #: ``packet`` or ``hybrid`` (fluid bulk flows with packet fidelity
     #: islands; see :mod:`repro.netem.fluid`).  Scenarios without ``bulk``
     #: workloads digest identically across this knob.
@@ -407,6 +412,13 @@ class TopologySpec:
             )
         if self.shard_count < 1:
             raise ScenarioSpecError(f"shard_count must be >= 1, got {self.shard_count}")
+        if self.region_count < 1:
+            raise ScenarioSpecError(f"region_count must be >= 1, got {self.region_count}")
+        if self.region_count > self.station_count:
+            raise ScenarioSpecError(
+                f"region_count ({self.region_count}) cannot exceed "
+                f"station_count ({self.station_count})"
+            )
         if self.simulation_mode not in SIMULATION_MODES:
             raise ScenarioSpecError(
                 f"unknown simulation mode {self.simulation_mode!r}; valid: {SIMULATION_MODES}"
@@ -438,6 +450,7 @@ class TopologySpec:
             "autoscale_down_threshold": self.autoscale_down_threshold,
             "autoscale_max_replicas": self.autoscale_max_replicas,
             "shard_count": self.shard_count,
+            "region_count": self.region_count,
             "simulation_mode": self.simulation_mode,
             "fluid_epoch_s": self.fluid_epoch_s,
             "uplink_bandwidth_bps": self.uplink_bandwidth_bps,

@@ -11,6 +11,13 @@ aggregated view the UI (and the benchmarks) consume.
 from repro.telemetry.metrics import Counter, Gauge, TimeSeries, MetricsRegistry
 from repro.telemetry.collector import ResourceCollector
 from repro.telemetry.export import snapshot_to_json, render_table
+from repro.telemetry.rollup import (
+    GlobalTelemetry,
+    HealthRollup,
+    HotspotRollup,
+    RegionTelemetry,
+    RollupCounters,
+)
 
 __all__ = [
     "Counter",
@@ -20,4 +27,9 @@ __all__ = [
     "ResourceCollector",
     "snapshot_to_json",
     "render_table",
+    "GlobalTelemetry",
+    "HealthRollup",
+    "HotspotRollup",
+    "RegionTelemetry",
+    "RollupCounters",
 ]

@@ -1,0 +1,290 @@
+"""Streaming telemetry rollups for the federated control plane.
+
+The pre-federation aggregation model is *pull*: ``overview()`` walks every
+station's health record, every assignment and every hotspot log on each
+call.  That is O(stations + assignments) per read -- fine for a testbed,
+hopeless for an operator fleet where dashboards poll continuously over
+millions of clients.
+
+This module inverts it to *push*: each shard's delivery path applies its
+per-tick deltas (heartbeat batch sizes, client events, notification bursts,
+hotspot detections, assignment state transitions) to a small rollup node,
+and every write propagates up the tree
+
+    shard counters  ->  region aggregate  ->  global rollup
+
+so a read at any level is a dictionary lookup over pre-aggregated state:
+O(1) for counters, O(regions) to merge the per-region health/hotspot views.
+Nothing here is sampled or approximate -- the rollups are exact mirrors of
+the scanned state, and the federation test suite asserts byte equality
+between the streaming values and a brute-force recomputation after every
+canned scenario (``FederatedManager.full_scan_overview``).
+
+Design constraints the implementation honours:
+
+* **Determinism** -- rollup propagation is plain synchronous function calls
+  on the shard delivery path; no simulator events are scheduled, so a run's
+  event timeline (and therefore its :class:`~repro.scenarios.digest.MetricsDigest`)
+  is identical with rollups on or off.
+* **Integer exactness** -- counter deltas are ints and stay ints, so rolled
+  values digest identically to the per-shard counters they mirror.
+* **Float-exact liveness** -- :class:`HealthRollup` must agree with
+  :class:`~repro.core.monitoring.HealthMonitor`'s ``(now - last) <= timeout``
+  predicate bit-for-bit.  Deadlines in the expiry heap are rounded *down*
+  one ulp, so a candidate is always re-checked with the monitor's own
+  formula before being declared offline (and re-armed just past ``now`` if
+  float dust fired it early).
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+
+class RollupCounters:
+    """One node in the counter tree; every delta propagates to the root.
+
+    Counters are additive integers (heartbeats processed, client events,
+    enabled NFs...).  ``add`` walks the parent chain, so a shard-level push
+    updates its region aggregate and the global rollup in the same call --
+    the "streaming" in streaming rollups.
+    """
+
+    __slots__ = ("name", "parent", "counters", "deltas_applied")
+
+    def __init__(self, name: str, parent: Optional["RollupCounters"] = None) -> None:
+        self.name = name
+        self.parent = parent
+        self.counters: Dict[str, int] = {}
+        #: How many delta applications this node absorbed (its own plus the
+        #: ones pushed up from children) -- surfaced by rollup stats.
+        self.deltas_applied = 0
+
+    def add(self, key: str, delta: int) -> None:
+        node: Optional[RollupCounters] = self
+        while node is not None:
+            node.counters[key] = node.counters.get(key, 0) + delta
+            node.deltas_applied += 1
+            node = node.parent
+
+    def get(self, key: str) -> int:
+        return self.counters.get(key, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.counters)
+
+
+class HealthRollup:
+    """Streaming station liveness for one region.
+
+    ``record`` is O(log n) amortised per heartbeat; ``online_stations`` /
+    ``offline_stations`` are O(1) when nothing changed since the last read
+    (the common all-alive case) -- the sorted views are cached and only
+    rebuilt when a station flips state.
+
+    Exactness contract: a station is online iff
+    ``(now - last_heartbeat) <= heartbeat_timeout_s``, the identical
+    predicate :class:`~repro.core.monitoring.HealthMonitor` scans with.
+    The expiry heap only *nominates* candidates (with deadlines rounded one
+    ulp early, so no true expiry can hide behind float rounding); the
+    monitor formula always makes the final call.
+    """
+
+    def __init__(self, heartbeat_timeout_s: float = 10.0) -> None:
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._last: Dict[str, float] = {}
+        self._heap: List[Tuple[float, str, float]] = []
+        self._offline: set = set()
+        self._online_cache: Optional[Tuple[str, ...]] = None
+        self._offline_cache: Optional[Tuple[str, ...]] = None
+        #: Bumped whenever the online/offline partition changes; parents use
+        #: it to key their merged caches.
+        self.version = 0
+
+    def _bump(self) -> None:
+        self.version += 1
+        self._online_cache = None
+        self._offline_cache = None
+
+    def record(self, station_name: str, now: float) -> None:
+        """Register a heartbeat (or the initial registration) at ``now``."""
+        known = station_name in self._last
+        self._last[station_name] = now
+        # Deadline rounded one ulp down: an addition rounds by at most half
+        # an ulp, so this candidate can never fire *later* than the true
+        # ``last + timeout`` instant.
+        deadline = math.nextafter(now + self.heartbeat_timeout_s, -math.inf)
+        heappush(self._heap, (deadline, station_name, now))
+        if not known:
+            self._bump()
+        elif station_name in self._offline:
+            self._offline.discard(station_name)
+            self._bump()
+
+    def _expire(self, now: float) -> None:
+        timeout = self.heartbeat_timeout_s
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            deadline, station_name, last = heap[0]
+            heappop(heap)
+            if self._last.get(station_name) != last:
+                continue  # superseded by a newer heartbeat
+            if now - last <= timeout:
+                # Float dust fired the candidate a hair early: the monitor
+                # formula still says online, so re-arm just past ``now``.
+                heappush(heap, (math.nextafter(now, math.inf), station_name, last))
+                continue
+            if station_name not in self._offline:
+                self._offline.add(station_name)
+                self._bump()
+
+    def online_stations(self, now: float) -> Tuple[str, ...]:
+        self._expire(now)
+        if self._online_cache is None:
+            self._online_cache = tuple(sorted(set(self._last) - self._offline))
+        return self._online_cache
+
+    def offline_stations(self, now: float) -> Tuple[str, ...]:
+        self._expire(now)
+        if self._offline_cache is None:
+            self._offline_cache = tuple(sorted(self._offline))
+        return self._offline_cache
+
+    def is_online(self, station_name: str, now: float) -> bool:
+        last = self._last.get(station_name)
+        return last is not None and (now - last) <= self.heartbeat_timeout_s
+
+    def __len__(self) -> int:
+        return len(self._last)
+
+
+class HotspotRollup:
+    """Streaming set of ever-flagged hotspot stations.
+
+    Fed by :class:`~repro.core.monitoring.HotspotDetector`'s ``on_hotspot``
+    callback at detection time, so ``stations()`` never re-scans the
+    detector logs.  First sightings propagate to the parent (global) set.
+    """
+
+    __slots__ = ("parent", "_stations", "_cache")
+
+    def __init__(self, parent: Optional["HotspotRollup"] = None) -> None:
+        self.parent = parent
+        self._stations: set = set()
+        self._cache: Optional[Tuple[str, ...]] = None
+
+    def record(self, station_name: str) -> None:
+        if station_name in self._stations:
+            return
+        self._stations.add(station_name)
+        self._cache = None
+        if self.parent is not None:
+            self.parent.record(station_name)
+
+    def stations(self) -> List[str]:
+        if self._cache is None:
+            self._cache = tuple(sorted(self._stations))
+        return list(self._cache)
+
+    def __contains__(self, station_name: str) -> bool:
+        return station_name in self._stations
+
+    def __len__(self) -> int:
+        return len(self._stations)
+
+
+class RegionTelemetry:
+    """One region's aggregation point in the rollup tree.
+
+    A :class:`~repro.core.sharding.ShardedManager` owns one of these (its
+    shards push into per-shard child counter nodes) and, when it serves as a
+    region of a :class:`~repro.core.federation.FederatedManager`, the node's
+    parent is the federation's :class:`GlobalTelemetry` -- every shard push
+    lands in the global rollup in the same call.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        heartbeat_timeout_s: float = 10.0,
+        parent: Optional["GlobalTelemetry"] = None,
+    ) -> None:
+        self.name = name
+        self.counters = RollupCounters(name, parent=parent.counters if parent else None)
+        self.health = HealthRollup(heartbeat_timeout_s)
+        self.hotspots = HotspotRollup(parent=parent.hotspots if parent else None)
+        self.shards: List[RollupCounters] = []
+
+    def shard_node(self, shard_index: int) -> RollupCounters:
+        """The per-shard counter node (created on first use)."""
+        while len(self.shards) <= shard_index:
+            self.shards.append(
+                RollupCounters(f"{self.name}/shard-{len(self.shards)}", parent=self.counters)
+            )
+        return self.shards[shard_index]
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "counters": self.counters.snapshot(),
+            "deltas_applied": self.counters.deltas_applied,
+            "hotspot_stations": float(len(self.hotspots)),
+            "stations_tracked": float(len(self.health)),
+        }
+
+
+class GlobalTelemetry:
+    """The federation-wide rollup root.
+
+    Reads merge the per-region caches: O(regions) version checks when the
+    fleet is stable, a rebuild only when some region's liveness partition
+    actually changed.
+    """
+
+    def __init__(self) -> None:
+        self.counters = RollupCounters("global")
+        self.hotspots = HotspotRollup()
+        self.regions: List[RegionTelemetry] = []
+        self._online_cache: Optional[Tuple[Tuple[int, ...], List[str]]] = None
+        self._offline_cache: Optional[Tuple[Tuple[int, ...], List[str]]] = None
+
+    def region(self, name: str, heartbeat_timeout_s: float = 10.0) -> RegionTelemetry:
+        """Create (and attach) one region's aggregation node."""
+        telemetry = RegionTelemetry(name, heartbeat_timeout_s, parent=self)
+        self.regions.append(telemetry)
+        return telemetry
+
+    def _merged(
+        self,
+        now: float,
+        cache: Optional[Tuple[Tuple[int, ...], List[str]]],
+        per_region,
+    ) -> Tuple[Tuple[Tuple[int, ...], List[str]], List[str]]:
+        # Pull each region's (cached) view first: expiry may bump versions.
+        views = [per_region(region.health, now) for region in self.regions]
+        versions = tuple(region.health.version for region in self.regions)
+        if cache is None or cache[0] != versions:
+            merged = [name for view in views for name in view]
+            merged.sort()
+            cache = (versions, merged)
+        return cache, list(cache[1])
+
+    def online_stations(self, now: float) -> List[str]:
+        self._online_cache, merged = self._merged(
+            now, self._online_cache, HealthRollup.online_stations
+        )
+        return merged
+
+    def offline_stations(self, now: float) -> List[str]:
+        self._offline_cache, merged = self._merged(
+            now, self._offline_cache, HealthRollup.offline_stations
+        )
+        return merged
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "counters": self.counters.snapshot(),
+            "deltas_applied": self.counters.deltas_applied,
+            "regions": {region.name: region.stats() for region in self.regions},
+        }

@@ -1,0 +1,408 @@
+"""The federation test harness: multi-region control plane + streaming rollups.
+
+Gates the federated tier end to end:
+
+* station -> region routing and config validation;
+* streaming rollup exactness (the ``HealthRollup`` liveness predicate must
+  match the monitor's scan formula bit-for-bit, including at the float
+  boundary);
+* the global client directory stays consistent with the per-region
+  directories under concurrent cross-region roams;
+* a cross-region handoff keeps the chain and tears the old region's station
+  down (steering rules + fast path asserted from reported telemetry);
+* a 100-roam cross-region soak keeps the migration ledgers bounded and the
+  container census exact (mirrors ``test_migration_engine``'s soak);
+* every canned scenario replays to a byte-identical digest across
+  region_count {1,2} x shard_count {1,4}, and after every federated run the
+  streaming ``overview()`` equals the brute-force ``full_scan_overview()``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import ClientEvent
+from repro.core.chain import ServiceChain
+from repro.core.federation import FederatedManager
+from repro.core.manager import AssignmentState
+from repro.core.sharding import ShardedManager
+from repro.core.testbed import GNFTestbed, TestbedConfig
+from repro.netem.trafficgen import CBRTrafficGenerator
+from repro.scenarios import ScenarioRunner, build_scenario, scenario_names
+from repro.telemetry.rollup import HealthRollup
+from repro.wireless.mobility import LinearMobility
+
+CLIENT_IP = "10.10.99.1"
+
+
+def _event(testbed: GNFTestbed, station: str, kind: str, ip: str = CLIENT_IP) -> ClientEvent:
+    """A synthetic Agent-reported client (dis)connection."""
+    return ClientEvent(
+        station_name=station,
+        client_ip=ip,
+        client_name=f"phone-{ip.rsplit('.', 1)[-1]}",
+        cell_name=f"{station}-cell1",
+        event=kind,
+        time=testbed.simulator.now,
+    )
+
+
+def _wait_active(testbed: GNFTestbed, assignment, budget_s: float = 30.0) -> None:
+    waited = 0.0
+    while assignment.state is not AssignmentState.ACTIVE and waited < budget_s:
+        testbed.run(1.0)
+        waited += 1.0
+    assert assignment.state is AssignmentState.ACTIVE, assignment.state
+
+
+def _assert_directory_consistent(manager: FederatedManager) -> None:
+    """The global directory is exactly the disjoint union of the region
+    directories, and every entry lives in the region owning its station."""
+    merged = {}
+    for region_index, region in enumerate(manager.regions):
+        for client_ip, station in region.client_locations.items():
+            assert client_ip not in merged, (
+                f"client {client_ip} appears in two region directories"
+            )
+            merged[client_ip] = station
+            assert manager.region_index_of(station) == region_index
+    assert merged == manager.client_locations
+
+
+# ---------------------------------------------------------------------------
+# Station -> region routing and config validation
+# ---------------------------------------------------------------------------
+
+
+def test_region_map_bands_and_validation():
+    manager = GNFTestbed(
+        TestbedConfig(station_count=4, region_count=2, shard_count=2)
+    ).manager
+    assert isinstance(manager, FederatedManager)
+    assert manager.region_count == 2
+    assert manager.total_shard_count == 4
+    # Contiguous bands, same scheme shards use one tier down.
+    assert [manager.region_index_of(f"station-{i}") for i in (1, 2, 3, 4)] == [0, 0, 1, 1]
+    # Each region's shard map covers only its own band.
+    assert manager.regions[0].shard_map.band(0) == (1, 1)
+    assert manager.regions[1].shard_map.band(0) == (3, 3)
+    assert manager.regions[1].shard_map.band(1) == (4, 4)
+    with pytest.raises(ValueError):
+        FederatedManager(manager.simulator, region_count=0)
+    with pytest.raises(ValueError):
+        FederatedManager(manager.simulator, region_count=2, shards_per_region=0)
+    with pytest.raises(ValueError):
+        FederatedManager(manager.simulator, region_count=5, station_count=4)
+    with pytest.raises(ValueError):
+        GNFTestbed(TestbedConfig(station_count=2, region_count=3))
+
+
+# ---------------------------------------------------------------------------
+# Streaming rollup exactness
+# ---------------------------------------------------------------------------
+
+
+def test_health_rollup_matches_monitor_predicate_at_the_boundary():
+    """Liveness must flip at exactly ``(now - last) <= timeout`` -- the heap
+    is only a nomination mechanism, the monitor formula decides."""
+    rollup = HealthRollup(heartbeat_timeout_s=10.0)
+    rollup.record("station-1", 5.0)
+    assert rollup.is_online("station-1", 15.0)  # boundary: still online
+    assert rollup.online_stations(15.0) == ("station-1",)
+    just_past = 15.0 + 1e-9
+    assert not rollup.is_online("station-1", just_past)
+    assert rollup.online_stations(just_past) == ()
+    assert rollup.offline_stations(just_past) == ("station-1",)
+    # A fresh heartbeat resurrects the station (and bumps the version).
+    version = rollup.version
+    rollup.record("station-1", 20.0)
+    assert rollup.version > version
+    assert rollup.online_stations(25.0) == ("station-1",)
+    assert rollup.offline_stations(25.0) == ()
+
+
+def test_federated_overview_matches_single_manager_and_full_scan():
+    """The streaming rollup overview agrees with a single Manager's scanned
+    one on a live fleet, and with the brute-force recomputation."""
+    single = GNFTestbed(TestbedConfig(station_count=4, shard_count=1))
+    federated = GNFTestbed(TestbedConfig(station_count=4, region_count=2, shard_count=2))
+    for testbed in (single, federated):
+        testbed.start()
+        testbed.run(10.0)
+    manager = federated.manager
+    assert isinstance(manager, FederatedManager)
+    lone, fanned = single.manager.overview(), manager.overview()
+    for key in (
+        "online_stations", "offline_stations", "assignments",
+        "active_assignments", "enabled_nfs", "heartbeats_processed",
+    ):
+        assert lone[key] == fanned[key], key
+    # The federation reports the directory as a count at this tier.
+    assert fanned["connected_clients"] == len(lone["connected_clients"])
+    assert fanned["regions"] == 2 and fanned["shards"] == 4
+    assert manager.overview() == manager.full_scan_overview()
+    # The placement view spans every station, in global station order.
+    names = [view.name for view in manager.station_views("station-1")]
+    assert names == single.station_names()
+    # Health facade: point and list queries agree with the per-region truth.
+    now = federated.simulator.now
+    assert manager.health.online_stations(now) == single.station_names()
+    assert manager.health.is_online("station-3", now)
+    assert len(manager.health) == 4
+    assert set(manager.last_heartbeat) == set(single.station_names())
+    # The UI renders through the facade without noticing federation.
+    assert "GNF network overview" in federated.ui.render_overview()
+
+
+# ---------------------------------------------------------------------------
+# Cross-region roaming: handoff, teardown, directory
+# ---------------------------------------------------------------------------
+
+
+def test_cross_region_roaming_keeps_chain_and_tears_down_old_region():
+    """A client roams from region 0's station to region 1's: the chain
+    follows via an explicit release/adopt handoff and the old region's
+    station tears everything down (asserted from reported telemetry, not
+    just live object state) -- the region-tier twin of the cross-shard test."""
+    testbed = GNFTestbed(
+        TestbedConfig(station_count=2, region_count=2, migration_strategy="cold")
+    )
+    manager = testbed.manager
+    assert isinstance(manager, FederatedManager)
+    assert manager.region_index_of("station-1") != manager.region_index_of("station-2")
+    client = testbed.add_client("phone", position=(0.0, 0.0))
+    testbed.start()
+    testbed.run(1.0)
+    baseline_rules = testbed.topology.stations["station-1"].switch.summary()["flow_rules"]
+    assignment = manager.attach_chain(client.ip, ServiceChain.of("firewall", "http-filter"))
+    generator = CBRTrafficGenerator(
+        testbed.simulator, client, server_ip=testbed.server_ip, rate_pps=20
+    )
+    generator.start()
+    testbed.run(6.0)
+    assert assignment.state is AssignmentState.ACTIVE
+    assert testbed.topology.stations["station-1"].switch.flow_cache.stats()["hits"] > 0
+
+    LinearMobility(
+        testbed.simulator, client, velocity_mps=(8.0, 0.0), destination=(80.0, 0.0)
+    ).start()
+    testbed.run(40.0)
+
+    # The migration completed and the chain kept following the client.
+    assert client.current_station_name == "station-2"
+    record = testbed.roaming.records[0]
+    assert record.success and record.to_station == "station-2"
+    assert assignment.state is AssignmentState.ACTIVE
+    assert assignment.station_name == "station-2"
+
+    # The explicit handoff moved the assignment between regions.
+    assert len(manager.handoffs) == 1
+    handoff = manager.handoffs[0]
+    assert handoff.assignment_id == assignment.assignment_id
+    assert handoff.from_region == 0 and handoff.to_region == 1
+    assert handoff.from_station == "station-1" and handoff.to_station == "station-2"
+    source, target = manager.regions[0], manager.regions[1]
+    assert assignment.assignment_id in target.assignments
+    assert assignment.assignment_id not in source.assignments
+    assert assignment.assignment_id in target.scheduler.tracked()
+    assert assignment.assignment_id not in source.scheduler.tracked()
+    # The directory followed the client across the region boundary.
+    _assert_directory_consistent(manager)
+    assert manager.client_locations[client.ip] == "station-2"
+
+    # The new region's station hosts the running chain...
+    new_deployment = testbed.agents["station-2"].deployment_for_client(client.ip)
+    assert new_deployment is not None
+    assert all(d.container.is_running for d in new_deployment.deployed_nfs)
+    testbed.run(5.0)
+    # ...and the old region's station tore everything down: no deployment,
+    # and the telemetry it reports upstream shows the steering rules gone
+    # and the cached fast-path verdicts flushed.
+    assert testbed.agents["station-1"].deployment_for_client(client.ip) is None
+    old_switch = testbed.topology.stations["station-1"].switch
+    assert old_switch.flow_table.rules(cookie=f"chain:{assignment.assignment_id}") == []
+    reported = manager.last_heartbeat["station-1"]
+    assert reported.switch["flow_rules"] <= baseline_rules
+    old_fastpath = old_switch.flow_cache.stats()
+    assert old_fastpath["entries"] == 0
+    assert old_fastpath["invalidations"] + old_fastpath["flushes"] > 0
+    assert manager.overview()["cross_region_handoffs"] == 1
+    assert manager.overview() == manager.full_scan_overview()
+
+
+def test_directory_stays_consistent_under_concurrent_cross_region_roams():
+    """Three synthetic clients ping-pong across the region boundary
+    concurrently; after every wave the global directory equals the disjoint
+    union of the region directories and the assignment index matches the
+    owning region's table."""
+    testbed = GNFTestbed(
+        TestbedConfig(station_count=4, region_count=2, shard_count=2,
+                      migration_strategy="cold")
+    )
+    manager = testbed.manager
+    assert isinstance(manager, FederatedManager)
+    ips = [f"10.10.99.{i}" for i in (1, 2, 3)]
+    # Each client shuttles between the last region-0 station and the first
+    # region-1 station, so every roam crosses the boundary.
+    east, west = "station-2", "station-3"
+    testbed.start()
+    testbed.run(0.5)
+    for ip in ips:
+        manager.receive_client_event(_event(testbed, east, "connected", ip))
+    testbed.run(0.1)
+    assignments = [
+        manager.attach_chain(ip, ServiceChain.of("firewall"), station_name=east)
+        for ip in ips
+    ]
+    testbed.run(5.0)
+    for assignment in assignments:
+        assert assignment.state is AssignmentState.ACTIVE
+    _assert_directory_consistent(manager)
+
+    here, there = east, west
+    for wave in range(8):
+        # All three disconnect in the same tick...
+        for ip in ips:
+            manager.receive_client_event(_event(testbed, here, "disconnected", ip))
+        testbed.run(0.3)
+        # ...mid-flight the departed clients are in no directory at all...
+        _assert_directory_consistent(manager)
+        assert not any(ip in manager.client_locations for ip in ips)
+        # ...then all three reconnect across the boundary in the same tick.
+        for ip in ips:
+            manager.receive_client_event(_event(testbed, there, "connected", ip))
+        testbed.run(2.2)
+        for assignment in assignments:
+            _wait_active(testbed, assignment)
+        _assert_directory_consistent(manager)
+        owning = manager.region_index_of(there)
+        for ip, assignment in zip(ips, assignments):
+            assert manager.client_locations[ip] == there
+            assert assignment.station_name == there
+            assert manager._assignment_region[assignment.assignment_id] == owning
+            assert assignment.assignment_id in manager.regions[owning].assignments
+        here, there = there, here
+
+    assert len(manager.handoffs) == 8 * len(ips)
+    assert manager.overview() == manager.full_scan_overview()
+
+
+# ---------------------------------------------------------------------------
+# The 100-roam cross-region soak (migration-ledger + container census)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ["stateful", "precopy"])
+def test_soak_100_cross_region_roams_keeps_ledgers_bounded(strategy):
+    """The federation twin of ``test_migration_engine``'s soak: every roam
+    crosses the region boundary, and after 100 of them the coordinator's
+    captured-state and speculative ledgers are empty and exactly one station
+    hosts exactly one chain's worth of containers."""
+    testbed = GNFTestbed(
+        TestbedConfig(station_count=2, region_count=2, migration_strategy=strategy)
+    )
+    manager = testbed.manager
+    assert isinstance(manager, FederatedManager)
+    testbed.start()
+    testbed.run(0.5)
+    manager.receive_client_event(_event(testbed, "station-1", "connected"))
+    testbed.run(0.1)
+    assignment = manager.attach_chain(
+        CLIENT_IP, ServiceChain.of("firewall"), station_name="station-1"
+    )
+    testbed.run(5.0)
+    assert assignment.state is AssignmentState.ACTIVE
+    for _ in range(100):
+        old = assignment.station_name
+        new = "station-2" if old == "station-1" else "station-1"
+        manager.receive_client_event(_event(testbed, old, "disconnected"))
+        testbed.run(0.3)
+        manager.receive_client_event(_event(testbed, new, "connected"))
+        testbed.run(2.2)
+        _wait_active(testbed, assignment)
+    coordinator = testbed.roaming
+    assert len(coordinator.records) == 100
+    assert all(record.success for record in coordinator.records)
+    assert assignment.migrations == 100
+    assert len(manager.handoffs) == 100
+    assert all(h.from_region != h.to_region for h in manager.handoffs)
+    # The ledgers are bounded: everything staged per-roam was consumed.
+    assert coordinator._captured_state == {}
+    assert coordinator._speculative == {}
+    # Container census: exactly one station hosts the chain, with exactly
+    # one chain's worth of running containers network-wide.
+    hosts = [
+        name for name, agent in testbed.agents.items() if agent.deployment_for_client(CLIENT_IP)
+    ]
+    assert hosts == [assignment.station_name]
+    running = [
+        container
+        for agent in testbed.agents.values()
+        for container in agent.runtime.containers.values()
+        if container.labels.get("assignment") == assignment.assignment_id
+        and container.is_running
+    ]
+    assert len(running) == len(assignment.chain)
+    # The assignment table and directory ended in the owning region only.
+    _assert_directory_consistent(manager)
+    assert manager.overview() == manager.full_scan_overview()
+
+
+# ---------------------------------------------------------------------------
+# Digest invariance + rollup-vs-scan equivalence, every canned scenario
+# ---------------------------------------------------------------------------
+
+#: region_count x shard_count combinations the invariance matrix covers;
+#: combos needing more regions than the scenario has stations are skipped
+#: (the config layer rejects them by design).
+_MATRIX = [(1, 4), (2, 1), (2, 4)]
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_canned_digest_invariant_across_regions_and_shards(name):
+    """Every canned scenario replays byte-identically across the
+    region/shard matrix, and every federated replay's streaming overview
+    equals the brute-force full scan (the rollup-equivalence gate)."""
+    spec = build_scenario(name, seed=0)
+    runner = ScenarioRunner(spec)
+    base = runner.run(region_count=1, shard_count=1)
+    assert base.drained
+    for region_count, shard_count in _MATRIX:
+        if region_count > spec.topology.station_count:
+            continue
+        result = runner.run(region_count=region_count, shard_count=shard_count)
+        assert result.drained, (name, region_count, shard_count)
+        assert result.digest == base.digest, (
+            name, region_count, shard_count, base.digest.diff(result.digest),
+        )
+        manager = result.testbed.manager
+        if region_count == 1:
+            continue
+        assert isinstance(manager, FederatedManager)
+        assert manager.region_count == region_count
+        assert manager.total_shard_count == region_count * shard_count
+        # Streaming rollups == brute-force scans, after the full run.
+        assert manager.overview() == manager.full_scan_overview(), name
+        # The counter tree is exact: the global rollup equals the sum of
+        # the per-shard counters it mirrors.
+        assert manager.heartbeats_processed == sum(
+            shard.heartbeats_processed for region in manager.regions for shard in region.shards
+        )
+        assert manager.client_events_processed == sum(
+            region.client_events_processed for region in manager.regions
+        )
+        _assert_directory_consistent(manager)
+
+
+def test_federated_commuters_scenario_actually_federates():
+    """The canned ``federated-commuters`` scenario exercises the tier it was
+    built for: real cross-region handoffs on its own default settings."""
+    spec = build_scenario("federated-commuters", seed=0)
+    assert spec.topology.region_count == 2 and spec.topology.shard_count == 2
+    result = ScenarioRunner(spec).run()
+    assert result.drained
+    manager = result.testbed.manager
+    assert isinstance(manager, FederatedManager)
+    assert len(manager.handoffs) >= 4
+    assert result.migrations_completed >= 4
+    assert manager.overview() == manager.full_scan_overview()

@@ -95,13 +95,39 @@ def test_digest_covers_event_counts_fastpath_and_latency_samples():
 
 
 def test_digest_diff_names_changed_sections():
-    base = MetricsDigest.compute({"a": {"x": 1}, "b": {"y": 2.0}})
-    same = MetricsDigest.compute({"a": {"x": 1}, "b": {"y": 2.0}})
-    changed = MetricsDigest.compute({"a": {"x": 1}, "b": {"y": 3.0}})
+    base = MetricsDigest.compute({"a": {"x": 1}, "b": {"y": 2.0, "z": 5}})
+    same = MetricsDigest.compute({"a": {"x": 1}, "b": {"y": 2.0, "z": 5}})
+    changed = MetricsDigest.compute({"a": {"x": 1}, "b": {"y": 3.0, "z": 5}})
     assert base == same
     assert base.diff(same) == []
-    assert base.diff(changed) == ["b"]
+    # The mismatch localises to the changed key inside section "b".
+    assert base.diff(changed) == ["b/y"]
     assert base != changed
+    # Non-dict sections still diff at section granularity.
+    flat = MetricsDigest.compute({"a": [1, 2], "b": {"y": 2.0, "z": 5}})
+    flat_changed = MetricsDigest.compute({"a": [1, 3], "b": {"y": 2.0, "z": 5}})
+    assert flat.diff(flat_changed) == ["a"]
+
+
+def test_digest_diff_qualifies_keys_with_provenance():
+    """A station-keyed mismatch names the owning region/shard -- the
+    federation debuggability fix -- while provenance itself never affects
+    digest equality (it differs across region counts by construction)."""
+    provenance = {"station-3": "region-1/shard-0"}
+    base = MetricsDigest.compute(
+        {"stations": {"station-3": {"rx": 1}, "station-1": {"rx": 2}}}, provenance=provenance
+    )
+    changed = MetricsDigest.compute(
+        {"stations": {"station-3": {"rx": 9}, "station-1": {"rx": 2}}}
+    )
+    # The label is picked up from whichever side carries it.
+    assert base.diff(changed) == ["stations/station-3 [region-1/shard-0]"]
+    assert changed.diff(base) == ["stations/station-3 [region-1/shard-0]"]
+    # Same sections, different provenance: still equal digests.
+    unlabelled = MetricsDigest.compute(
+        {"stations": {"station-3": {"rx": 1}, "station-1": {"rx": 2}}}
+    )
+    assert base == unlabelled and base.hexdigest == unlabelled.hexdigest
 
 
 def test_digest_canonicalisation_is_dict_order_independent():

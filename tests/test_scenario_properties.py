@@ -159,3 +159,51 @@ def test_random_scenarios_are_individually_deterministic():
     first = ScenarioRunner(spec).run()
     second = ScenarioRunner(spec).run()
     assert first.digest == second.digest, first.digest.diff(second.digest)
+
+
+@pytest.mark.parametrize("case", range(6))
+def test_random_federated_scenarios_drain_without_orphans(case):
+    """Random specs run federated (region_count >= 2) must still drain to
+    zero pending events, with no orphaned assignments or chain containers
+    left in any region: every region-held assignment is indexed by the
+    frontend under the right region, and no agent anywhere keeps running
+    containers for an assignment that is no longer ACTIVE."""
+    rng = random.Random(4000 + case)
+    spec = random_spec(rng, case)
+    while spec.topology.station_count < 2:
+        spec = random_spec(rng, case)
+    spec.validate()
+    result = ScenarioRunner(spec).run(region_count=2, shard_count=2)
+    assert result.drained, (
+        f"case {case} (spec seed {spec.seed}) left "
+        f"{result.pending_events_after_teardown} live events after teardown"
+    )
+    assert result.pending_events_after_teardown == 0
+    manager = result.testbed.manager
+    assert manager.region_count == 2
+    # No orphaned assignments: the frontend's region index and each
+    # region's table agree exactly, in both directions.
+    for region_index, region in enumerate(manager.regions):
+        for assignment_id in region.assignments:
+            assert manager._assignment_region.get(assignment_id) == region_index
+            assert assignment_id in manager.assignments
+    for assignment_id, region_index in manager._assignment_region.items():
+        assignment = manager.assignments[assignment_id]
+        if assignment.state.value == "active":
+            assert assignment_id in manager.regions[region_index].assignments
+    # No orphaned segments: after teardown, any still-running chain
+    # container belongs to an ACTIVE assignment (faults may have ended the
+    # scenario with chains legitimately up; nothing REMOVED may linger).
+    for agent in result.testbed.agents.values():
+        for container in agent.runtime.containers.values():
+            if not container.is_running:
+                continue
+            assignment_id = container.labels.get("assignment")
+            if assignment_id is None:
+                continue
+            owner = manager.assignments.get(assignment_id)
+            assert owner is not None, f"container for unknown assignment {assignment_id}"
+            assert owner.state.value == "active", (
+                f"case {case}: running container for {owner.state.value} "
+                f"assignment {assignment_id} on {agent.station.name}"
+            )
