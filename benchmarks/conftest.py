@@ -114,6 +114,18 @@ def pytest_addoption(parser):
         help="Simulated duration (s) for the E14 hybrid-mode leg (default: 20)",
     )
     group.addoption(
+        "--e15-flows",
+        type=int,
+        default=24,
+        help="Concurrent CBR flows growing the SMF session table in E15 (default: 24)",
+    )
+    group.addoption(
+        "--e15-load-duration",
+        type=float,
+        default=20.0,
+        help="Simulated seconds of load before the E15 upgrade fires (default: 20)",
+    )
+    group.addoption(
         "--e12-clients",
         type=int,
         default=0,

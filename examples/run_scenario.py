@@ -4,6 +4,7 @@
 Usage::
 
     python examples/run_scenario.py --list
+    python examples/run_scenario.py --list-bundles
     python examples/run_scenario.py commuter-rush
     python examples/run_scenario.py chaos-soak --seed 7
     python examples/run_scenario.py rolling-failure --check-determinism
@@ -88,11 +89,33 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--list", action="store_true", help="list canned scenarios and exit")
     parser.add_argument(
+        "--list-bundles",
+        action="store_true",
+        help="list the service-bundle catalogue (name, version, NF graph, slices) and exit",
+    )
+    parser.add_argument(
         "--check-determinism",
         action="store_true",
         help="run twice with the same seed and fail if the digests differ",
     )
     args = parser.parse_args(argv)
+
+    if args.list_bundles:
+        from repro.core.bundles import default_catalogue
+
+        print("Service bundle catalogue:")
+        for spec in default_catalogue().specs():
+            slices = ", ".join(
+                f"{s.name}(latency<={s.slo.max_latency_s}s, bw>={s.slo.min_bandwidth_mbps}Mbps)"
+                if s.slo is not None and s.slo.constrained
+                else s.name
+                for s in spec.slices
+            ) or "-"
+            print(f"  {spec.ref:18s} {spec.nf_graph()}")
+            print(f"  {'':18s} slices: {slices}")
+            if spec.description:
+                print(f"  {'':18s} {spec.description}")
+        return 0
 
     if args.list or not args.scenario:
         print("Canned scenarios:")

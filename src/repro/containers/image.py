@@ -199,4 +199,16 @@ def default_nf_images() -> List[ContainerImage]:
             "gnf/load-balancer", size_mb=5.0, nf_class="repro.nfs.load_balancer.L4LoadBalancer",
             default_memory_mb=8.0, description="L4 connection load balancer",
         ),
+        ContainerImage.build(
+            "gnf/amf", size_mb=8.0, nf_class="repro.nfs.mobile_core.AMFFunction",
+            default_memory_mb=8.0, description="AMF-like access/mobility control NF",
+        ),
+        ContainerImage.build(
+            "gnf/smf", size_mb=9.0, nf_class="repro.nfs.mobile_core.SMFFunction",
+            default_memory_mb=12.0, description="SMF-like session management NF",
+        ),
+        ContainerImage.build(
+            "gnf/upf", size_mb=7.0, nf_class="repro.nfs.mobile_core.UPFFunction",
+            default_memory_mb=8.0, description="UPF-like user plane NF with edge breakout",
+        ),
     ]

@@ -16,6 +16,10 @@
 * :mod:`repro.core.sharding` -- the sharded control plane (ShardedManager
   frontend, ControlBus message coalescing, cross-shard handoffs).
 * :mod:`repro.core.scheduler` -- time-scheduled NF activation.
+* :mod:`repro.core.bundles` -- versioned service-bundle templates (multi-
+  slice NF graphs with per-slice SLOs) and the rolling-upgrade
+  orchestrator that walks live instances between versions with zero
+  coverage gap.
 * :mod:`repro.core.monitoring` / :mod:`repro.core.notifications` -- health,
   hotspots and provider notifications.
 * :mod:`repro.core.testbed` -- one-call assembly of a complete emulated GNF
@@ -23,6 +27,15 @@
 """
 
 from repro.core.agent import ChainDeployment, DeployedNF, GNFAgent
+from repro.core.bundles import (
+    BundleCatalogue,
+    BundleError,
+    BundleNF,
+    BundleSpec,
+    BundleUpgradeOrchestrator,
+    SliceSpec,
+    default_catalogue,
+)
 from repro.core.api import (
     AgentHeartbeat,
     ClientEvent,
@@ -94,6 +107,13 @@ __all__ = [
     "TimeSchedule",
     "ScheduleWindow",
     "NFScheduler",
+    "BundleCatalogue",
+    "BundleError",
+    "BundleNF",
+    "BundleSpec",
+    "BundleUpgradeOrchestrator",
+    "SliceSpec",
+    "default_catalogue",
     "ClosestAgentPlacement",
     "LoadAwarePlacement",
     "LatencyAwarePlacement",

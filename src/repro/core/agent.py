@@ -282,6 +282,7 @@ class GNFAgent:
         self.collector.add_source("switch", lambda: {k: float(v) for k, v in self.station.switch.summary().items()})
         self.collector.add_source("fastpath", self.station.switch.flow_cache.stats)
         self.collector.add_source("flows", self._flow_tracker_metrics)
+        self.collector.add_source("cache", self._cache_metrics)
         # Wired to the Manager by GNFManager.register_agent().
         self.control_channel: Optional[ControlChannel] = None
         self._manager_heartbeat_sink: Optional[Callable[[AgentHeartbeat], None]] = None
@@ -315,6 +316,34 @@ class GNFAgent:
             totals["trackers"] += 1.0
             for key, value in tracker.snapshot().items():
                 totals[key] = totals.get(key, 0.0) + float(value)
+        return totals
+
+    def _cache_metrics(self) -> Dict[str, float]:
+        """Aggregate edge-cache counters across the station's running NFs.
+
+        Backhaul savings are a per-station property (the paper's motivating
+        case for edge caches), so the rollup tree carries them like
+        ``flows.*``: every NF exposing cache counters contributes to the
+        station's ``cache.*`` sample.
+        """
+        totals: Dict[str, float] = {
+            "caches": 0.0,
+            "hits": 0.0,
+            "misses": 0.0,
+            "evictions": 0.0,
+            "bytes_served_from_cache": 0.0,
+            "objects": 0.0,
+        }
+        for container in self.runtime.running_containers():
+            nf = container.network_function
+            if nf is None or not hasattr(nf, "bytes_served_from_cache"):
+                continue
+            totals["caches"] += 1.0
+            totals["hits"] += float(getattr(nf, "hits", 0))
+            totals["misses"] += float(getattr(nf, "misses", 0))
+            totals["evictions"] += float(getattr(nf, "evictions", 0))
+            totals["bytes_served_from_cache"] += float(nf.bytes_served_from_cache)
+            totals["objects"] += float(getattr(nf, "object_count", 0))
         return totals
 
     # ----------------------------------------------------------- manager link
@@ -351,6 +380,12 @@ class GNFAgent:
             self._heartbeat_task.stop()
             self._heartbeat_task = None
         self.collector.stop()
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the daemon is up (the fault injector stops it on a
+        station crash and restarts it on recovery)."""
+        return self._heartbeat_task is not None
 
     # -------------------------------------------------------------- cells
 
@@ -603,6 +638,79 @@ class GNFAgent:
             self.remove_chain_rules(deployment)
         return True
 
+    # ------------------------------------------------------------- upgrades
+
+    def suspend_chain(
+        self,
+        assignment_id: str,
+        on_suspended: Optional[Callable[[float], None]] = None,
+    ) -> bool:
+        """Pull a chain's steering rules without touching its containers.
+
+        Used by the stateful bundle-upgrade path: the coverage gap starts
+        here (no rules means the client's traffic bypasses the chain) and
+        ends when :meth:`cutover_chain` installs the replacement's rules.
+        ``on_suspended`` receives the gap-start timestamp synchronously.
+        """
+        deployment = self.deployments.get(assignment_id)
+        if deployment is None or deployment.active_at is None:
+            return False
+        self.remove_chain_rules(deployment)
+        if on_suspended is not None:
+            on_suspended(self.simulator.now)
+        return True
+
+    def cutover_chain(
+        self,
+        assignment_id: str,
+        staged_id: str,
+        final_states: Optional[Sequence[Dict[str, object]]] = None,
+        desired_active: bool = True,
+        on_done: Optional[Callable[[bool, str], None]] = None,
+    ) -> bool:
+        """Atomically replace a chain with a fully booted staged replacement.
+
+        The staged deployment (booted unsteered under ``staged_id``) absorbs
+        ``final_states``, the old chain is torn down, and the replacement is
+        re-keyed to ``assignment_id`` with its steering installed in the same
+        simulator event -- so a packet arriving at any instant sees either
+        the old rules or the new ones, never neither (zero coverage gap).
+        If the staged chain is missing, still booting, cancelled, or lost a
+        container (station crash mid-upgrade), nothing is touched and the
+        cutover reports failure: the upgrade orchestrator retries rather
+        than half-cutting-over.
+        """
+        staged = self.deployments.get(staged_id)
+        ready = (
+            staged is not None
+            and staged.active_at is not None
+            and not staged.cancelled
+            and bool(staged.deployed_nfs)
+            and all(deployed.container.is_running for deployed in staged.deployed_nfs)
+        )
+        if not ready:
+            if on_done is not None:
+                on_done(False, "staged chain not ready")
+            return False
+        assert staged is not None
+        for index, deployed in enumerate(staged.deployed_nfs):
+            if final_states and index < len(final_states) and final_states[index]:
+                deployed.nf.import_state(dict(final_states[index]))
+        old = self.deployments.get(assignment_id)
+        if old is not None and old is not staged:
+            self.remove_chain(assignment_id)
+        self.deployments.pop(staged_id, None)
+        staged.assignment_id = assignment_id
+        staged.desired_active = desired_active
+        self.deployments[assignment_id] = staged
+        if desired_active:
+            self.install_chain_rules(staged)
+        elif staged.rules_installed:
+            self.remove_chain_rules(staged)
+        if on_done is not None:
+            on_done(True, "cut-over")
+        return True
+
     # -------------------------------------------------------------- removal
 
     def remove_chain(
@@ -674,6 +782,7 @@ class GNFAgent:
             switch={key: float(value) for key, value in self.station.switch.summary().items()},
             nf_stats=nf_stats,
             connected_clients=sorted(self.connected_clients),
+            cache=self._cache_metrics(),
         )
         self.heartbeats_sent += 1
         self._manager_heartbeat_sink(heartbeat)

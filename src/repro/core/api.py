@@ -47,6 +47,10 @@ class AgentHeartbeat(ControlMessage):
     switch: Dict[str, float] = field(default_factory=dict)
     nf_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
     connected_clients: List[str] = field(default_factory=list)
+    #: Station-wide edge-cache totals (hits, misses, evictions, bytes served
+    #: locally), aggregated by the Agent's collector source; the sharded and
+    #: federated frontends stream the deltas into the rollup tree.
+    cache: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass

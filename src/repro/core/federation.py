@@ -515,6 +515,41 @@ class FederatedManager:
             counters.add("active_assignments", 1)
             counters.add("enabled_nfs", len(assignment.chain))
 
+    # ------------------------------------------------------ bundle upgrades
+
+    def find_assignment(self, assignment_id: str) -> Optional[Assignment]:
+        """Non-raising lookup against the federation's global index."""
+        return self.assignments.get(assignment_id)
+
+    def _upgrade_region(self, assignment_id: str) -> Optional[ShardedManager]:
+        region_index = self._assignment_region.get(assignment_id)
+        return None if region_index is None else self.regions[region_index]
+
+    def stage_chain_upgrade(self, assignment_id: str, new_chain: ServiceChain, on_complete) -> None:
+        """Route the staging to whichever region (and shard) owns it."""
+        region = self._upgrade_region(assignment_id)
+        if region is None:
+            self.simulator.schedule(0.0, on_complete, False, "assignment not owned by any region")
+            return
+        region.stage_chain_upgrade(assignment_id, new_chain, on_complete)
+
+    def suspend_chain_upgrade(self, assignment_id: str, on_suspended) -> None:
+        region = self._upgrade_region(assignment_id)
+        if region is not None:
+            region.suspend_chain_upgrade(assignment_id, on_suspended)
+
+    def cutover_chain_upgrade(self, assignment_id: str, new_chain: ServiceChain, final_states, on_done) -> None:
+        region = self._upgrade_region(assignment_id)
+        if region is None:
+            self.simulator.schedule(0.0, on_done, False, "assignment not owned by any region")
+            return
+        region.cutover_chain_upgrade(assignment_id, new_chain, final_states, on_done)
+
+    def abort_chain_upgrade(self, assignment_id: str) -> None:
+        region = self._upgrade_region(assignment_id)
+        if region is not None:
+            region.abort_chain_upgrade(assignment_id)
+
     # -------------------------------------------------------------- queries
 
     def assignments_for_client(self, client_ip: str) -> List[Assignment]:

@@ -228,6 +228,17 @@ def segment_deployment_id(assignment_id: str, index: int) -> str:
     return f"{assignment_id}::seg{index}"
 
 
+def upgrade_staging_id(assignment_id: str) -> str:
+    """Agent-side deployment id of an assignment's staged replacement chain.
+
+    A bundle upgrade boots the new chain version *next to* the live one
+    (unsteered) under this id, then re-keys it to ``assignment_id`` at
+    cutover -- the same namespacing trick split embeddings use for their
+    remote segments.
+    """
+    return f"{assignment_id}::upgrade"
+
+
 def dispatch_remote_segments(owner, assignment: Assignment, finished) -> None:
     """Deploy ``assignment.segments[1:]`` on their stations.
 
@@ -595,6 +606,106 @@ class GNFManager:
         agent = self.agents.get(assignment.station_name)
         if agent is not None:
             self.channels[assignment.station_name].call(agent.set_chain_active, assignment_id, False)
+
+    # ------------------------------------------------------ bundle upgrades
+
+    def find_assignment(self, assignment_id: str) -> Optional[Assignment]:
+        """Non-raising assignment lookup (upgrade orchestrator polling)."""
+        return self.assignments.get(assignment_id)
+
+    def stage_chain_upgrade(
+        self,
+        assignment_id: str,
+        new_chain: ServiceChain,
+        on_complete: Callable[[bool, str], None],
+    ) -> None:
+        """Boot the replacement chain next to the live one, unsteered.
+
+        The staged deployment lives under :func:`upgrade_staging_id` on the
+        assignment's home station; ``on_complete(success, detail)`` reports
+        back over the control channel once it is booted (or failed).
+        """
+        assignment = self.assignments.get(assignment_id)
+        if assignment is None:
+            self.simulator.schedule(0.0, on_complete, False, "unknown assignment")
+            return
+        agent = self.agent(assignment.station_name)
+        channel = self.channels[assignment.station_name]
+
+        def staged_complete(deployment: ChainDeployment, success: bool, detail: str) -> None:
+            channel.call(on_complete, success, detail)
+
+        channel.call(
+            agent.deploy_chain,
+            upgrade_staging_id(assignment_id),
+            assignment.client_ip,
+            new_chain,
+            assignment.selector,
+            None,
+            staged_complete,
+            False,
+        )
+
+    def suspend_chain_upgrade(
+        self, assignment_id: str, on_suspended: Callable[[float], None]
+    ) -> None:
+        """Pull the live chain's steering (stateful upgrade freeze start)."""
+        assignment = self.assignments.get(assignment_id)
+        if assignment is None:
+            return
+        agent = self.agents.get(assignment.station_name)
+        if agent is not None:
+            self.channels[assignment.station_name].call(
+                agent.suspend_chain, assignment_id, on_suspended
+            )
+
+    def cutover_chain_upgrade(
+        self,
+        assignment_id: str,
+        new_chain: ServiceChain,
+        final_states: Optional[List[Dict[str, object]]],
+        on_done: Callable[[bool, str], None],
+    ) -> None:
+        """Swap the staged replacement in for the live chain atomically.
+
+        The replacement inherits the steering state the scheduler last
+        reconciled for this assignment, so an upgrade racing a disable
+        window comes up unsteered.  On success the Manager's assignment
+        record tracks the new chain; the result is reported back over the
+        channel either way.
+        """
+        assignment = self.assignments.get(assignment_id)
+        if assignment is None:
+            self.simulator.schedule(0.0, on_done, False, "unknown assignment")
+            return
+        agent = self.agent(assignment.station_name)
+        channel = self.channels[assignment.station_name]
+        desired_active = self.scheduler.currently_active(assignment_id)
+
+        def finished(success: bool, detail: str) -> None:
+            if success:
+                assignment.chain = new_chain
+            channel.call(on_done, success, detail)
+
+        channel.call(
+            agent.cutover_chain,
+            assignment_id,
+            upgrade_staging_id(assignment_id),
+            final_states,
+            desired_active,
+            finished,
+        )
+
+    def abort_chain_upgrade(self, assignment_id: str) -> None:
+        """Tear down a staged replacement that will not be cut over."""
+        assignment = self.assignments.get(assignment_id)
+        if assignment is None:
+            return
+        agent = self.agents.get(assignment.station_name)
+        if agent is not None:
+            self.channels[assignment.station_name].call(
+                agent.remove_chain, upgrade_staging_id(assignment_id)
+            )
 
     # ----------------------------------------------------- agent -> manager
 

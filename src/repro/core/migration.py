@@ -1042,6 +1042,20 @@ class MigrationEngine:
         """Size of exported NF state on the wire, in (decimal) MB."""
         return sum(len(str(state)) for state in states if state) / 1e6
 
+    def estimate_copy_time_s(self, station_name: str, size_mb: float) -> float:
+        """Seconds to copy ``size_mb`` of state *within* ``station_name``.
+
+        The bundle-upgrade orchestrator uses this for its same-station
+        old->new chain copies: the serialization cost is real (the state
+        crosses the container boundary at the station's narrowest local
+        rate) even though no backhaul link is traversed.
+        """
+        if size_mb <= 0:
+            return 0.0
+        return self.transfers.estimate_transfer_time(
+            station_name, station_name, int(size_mb * 1e6)
+        )
+
     def completed_migrations(self) -> List[MigrationRecord]:
         return [
             record for record in self.records if record.completed_at is not None and record.success

@@ -105,6 +105,9 @@ class NFRepository:
             "gnf/ids": "ids",
             "gnf/flow-monitor": "flow-monitor",
             "gnf/load-balancer": "load-balancer",
+            "gnf/amf": "amf",
+            "gnf/smf": "smf",
+            "gnf/upf": "upf",
         }
         for image in default_nf_images():
             nf_type = type_by_image.get(image.name)

@@ -145,6 +145,16 @@ class NFScheduler:
     def tracked(self) -> List[str]:
         return sorted(self._schedules)
 
+    def currently_active(self, assignment_id: str) -> bool:
+        """The scheduler's last reconciled activation state for an assignment.
+
+        Untracked assignments (no schedule) are always active.  The bundle
+        upgrade orchestrator reads this at cutover time so a replacement
+        chain inherits exactly the steering state the schedule asked for --
+        an upgrade racing a disable window must come up unsteered.
+        """
+        return self._active.get(assignment_id, True)
+
     # -------------------------------------------------------------- control
 
     def start(self) -> "NFScheduler":

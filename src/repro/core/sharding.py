@@ -73,7 +73,7 @@ from repro.core.repository import NFRepository
 from repro.core.scheduler import TimeSchedule
 from repro.netem.simulator import Simulator
 from repro.netem.topology import EdgeTopology
-from repro.telemetry.rollup import RegionTelemetry
+from repro.telemetry.rollup import RegionTelemetry, RollupCounters
 
 _STATION_INDEX = re.compile(r"(\d+)$")
 
@@ -422,6 +422,8 @@ class ShardedManager:
         self.telemetry = telemetry if telemetry is not None else RegionTelemetry(
             "region", heartbeat_timeout_s=heartbeat_timeout_s
         )
+        # Last cumulative cache totals pushed per station (rollup deltas).
+        self._cache_rollup_last: Dict[str, Dict[str, int]] = {}
         # Who dispatches/tears down a split assignment's *remote* segments.
         # Standalone, this frontend holds channels to every station; as a
         # federation region it only sees its band, so the federation rebinds
@@ -668,15 +670,33 @@ class ShardedManager:
 
     # ---------------------------------------------------------- bus delivery
 
+    #: Heartbeat cache totals streamed into the rollup tree.  The heartbeat
+    #: carries cumulative per-station values; the frontend diffs them against
+    #: the last push so the rollup counters stay additive integers.
+    _CACHE_ROLLUP_KEYS = ("hits", "misses", "evictions", "bytes_served_from_cache")
+
+    def _push_cache_rollup(self, node: RollupCounters, heartbeat: AgentHeartbeat) -> None:
+        if not heartbeat.cache:
+            return
+        station_last = self._cache_rollup_last.setdefault(heartbeat.station_name, {})
+        for key in self._CACHE_ROLLUP_KEYS:
+            total = int(heartbeat.cache.get(key, 0.0))
+            delta = total - station_last.get(key, 0)
+            if delta:
+                node.add(f"cache_{key}", delta)
+                station_last[key] = total
+
     def _deliver_heartbeats(self, shard_index: int, batch: List[AgentHeartbeat]) -> None:
         # Push the streaming rollup deltas first (plain synchronous calls;
         # no simulator events, so delivery order/time is unchanged), then
         # hand the batch to the shard's scan-era entry point.
-        self.telemetry.shard_node(shard_index).add("heartbeats_processed", len(batch))
+        node = self.telemetry.shard_node(shard_index)
+        node.add("heartbeats_processed", len(batch))
         health = self.telemetry.health
         now = self.simulator.now
         for heartbeat in batch:
             health.record(heartbeat.station_name, now)
+            self._push_cache_rollup(node, heartbeat)
         self.shards[shard_index].receive_heartbeat_batch(batch)
 
     def _deliver_notifications(self, shard_index: int, batch: List[NFNotificationMessage]) -> None:
@@ -754,6 +774,43 @@ class ShardedManager:
         self.assignments[assignment.assignment_id] = assignment
         self._assignment_shard[assignment.assignment_id] = shard_index
         self.shards[shard_index].accept_placed_assignment(assignment)
+
+    # ------------------------------------------------------ bundle upgrades
+
+    def find_assignment(self, assignment_id: str) -> Optional[Assignment]:
+        """Non-raising lookup against the frontend's global index."""
+        return self.assignments.get(assignment_id)
+
+    def _upgrade_shard(self, assignment_id: str) -> Optional[GNFManager]:
+        shard_index = self._assignment_shard.get(assignment_id)
+        return None if shard_index is None else self.shards[shard_index]
+
+    def stage_chain_upgrade(self, assignment_id: str, new_chain: ServiceChain, on_complete) -> None:
+        """Route the staging to whichever shard owns the assignment."""
+        shard = self._upgrade_shard(assignment_id)
+        if shard is None:
+            self.simulator.schedule(0.0, on_complete, False, "assignment not owned by any shard")
+            return
+        shard.stage_chain_upgrade(assignment_id, new_chain, on_complete)
+
+    def suspend_chain_upgrade(self, assignment_id: str, on_suspended) -> None:
+        shard = self._upgrade_shard(assignment_id)
+        if shard is not None:
+            shard.suspend_chain_upgrade(assignment_id, on_suspended)
+
+    def cutover_chain_upgrade(self, assignment_id: str, new_chain: ServiceChain, final_states, on_done) -> None:
+        """Cut over on the owning shard (its scheduler holds the activation
+        state the replacement must inherit)."""
+        shard = self._upgrade_shard(assignment_id)
+        if shard is None:
+            self.simulator.schedule(0.0, on_done, False, "assignment not owned by any shard")
+            return
+        shard.cutover_chain_upgrade(assignment_id, new_chain, final_states, on_done)
+
+    def abort_chain_upgrade(self, assignment_id: str) -> None:
+        shard = self._upgrade_shard(assignment_id)
+        if shard is not None:
+            shard.abort_chain_upgrade(assignment_id)
 
     # -------------------------------------------------------------- queries
 

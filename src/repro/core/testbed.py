@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.agent import GNFAgent
+from repro.core.bundles import BundleUpgradeOrchestrator, default_catalogue
 from repro.core.federation import FederatedManager
 from repro.core.manager import GNFManager
 from repro.core.placement import (
@@ -245,6 +246,12 @@ class GNFTestbed:
             scale_down_threshold=self.config.autoscale_down_threshold,
             max_replicas_per_chain=self.config.autoscale_max_replicas,
         )
+        self.upgrades = BundleUpgradeOrchestrator(
+            self.simulator,
+            self.manager,
+            engine=self.roaming.engine,
+            catalogue=default_catalogue(),
+        )
         self.ui = GNFDashboard(self.manager)
         if self.config.simulation_mode not in SIMULATION_MODES:
             raise ValueError(
@@ -432,6 +439,9 @@ class GNFTestbed:
         # neither subsystem keeps rescheduling itself (or leaks containers).
         self.autoscaler.shutdown()
         self.placement_engine.stop()
+        # Stop walking rolling upgrades before the migration machinery goes
+        # away underneath them.
+        self.upgrades.shutdown()
         # Abandon in-flight state transfers and tear down speculative
         # replicas so no migration machinery keeps rescheduling itself (and
         # no captured state or replica outlives the run).

@@ -18,6 +18,8 @@ processors over the :mod:`repro.netem.packet` model:
   the Manager notifications described in Section 3).
 * :mod:`repro.nfs.flow_monitor` -- passive per-flow statistics.
 * :mod:`repro.nfs.load_balancer` -- L4 connection load balancer.
+* :mod:`repro.nfs.mobile_core` -- AMF/SMF-like control NFs and a UPF-like
+  user-plane NF with edge breakout (the mobile-core service bundle).
 
 ``create_nf`` instantiates an NF from the dotted class path stored in a
 container image, which is how Agents turn a pulled image into a running
@@ -39,6 +41,7 @@ from repro.nfs.cache import EdgeCache
 from repro.nfs.ids import IntrusionDetector
 from repro.nfs.flow_monitor import FlowMonitor
 from repro.nfs.load_balancer import L4LoadBalancer
+from repro.nfs.mobile_core import AMFFunction, SMFFunction, UPFFunction
 
 #: Human-friendly catalogue used by examples and the UI.
 NF_CATALOG: Dict[str, Type[NetworkFunction]] = {
@@ -51,6 +54,9 @@ NF_CATALOG: Dict[str, Type[NetworkFunction]] = {
     "ids": IntrusionDetector,
     "flow-monitor": FlowMonitor,
     "load-balancer": L4LoadBalancer,
+    "amf": AMFFunction,
+    "smf": SMFFunction,
+    "upf": UPFFunction,
 }
 
 
@@ -87,6 +93,9 @@ __all__ = [
     "IntrusionDetector",
     "FlowMonitor",
     "L4LoadBalancer",
+    "AMFFunction",
+    "SMFFunction",
+    "UPFFunction",
     "NF_CATALOG",
     "create_nf",
 ]

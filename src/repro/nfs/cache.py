@@ -151,6 +151,8 @@ class EdgeCache(NetworkFunction):
                 ],
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
+                "bytes_served_from_cache": self.bytes_served_from_cache,
             }
         )
         return state
@@ -173,6 +175,10 @@ class EdgeCache(NetworkFunction):
                 self._objects[cached.url] = cached
         self.hits = int(state.get("hits", self.hits))
         self.misses = int(state.get("misses", self.misses))
+        self.evictions = int(state.get("evictions", self.evictions))
+        self.bytes_served_from_cache = int(
+            state.get("bytes_served_from_cache", self.bytes_served_from_cache)
+        )
 
     @property
     def state_size_mb(self) -> float:

@@ -24,6 +24,8 @@ from typing import Callable, Dict, List, Optional
 from repro.core.seeds import derive_seed
 from repro.scenarios.runner import ScenarioResult, ScenarioRunner
 from repro.scenarios.spec import (
+    BundleAssignmentSpec,
+    BundleUpgradeSpec,
     ChainAssignmentSpec,
     ClientFleetSpec,
     FaultSpec,
@@ -1008,4 +1010,167 @@ def _chaos_soak(seed: int) -> ScenarioSpec:
             ChainAssignmentSpec(fleet="roamer", nfs=["firewall"], attach_at_s=2.0),
         ],
         faults=faults,
+    )
+
+@register_scenario("slice-embb-iot")
+def _slice_embb_iot(seed: int) -> ScenarioSpec:
+    """Two slices of one mobile-core bundle, each priced against its own SLO."""
+    return ScenarioSpec(
+        name="slice-embb-iot",
+        description=(
+            "One mobile-core bundle instantiated twice from the catalogue: "
+            "an eMBB slice (amf->smf->upf, tight latency + bandwidth SLO) "
+            "for two video viewers and an IoT slice (amf->upf, relaxed "
+            "latency, trickle bandwidth) for three sensors, embedded by the "
+            "SLO-pricing placement strategy."
+        ),
+        seed=seed,
+        duration_s=45.0,
+        topology=TopologySpec(
+            station_count=2,
+            station_spacing_m=80.0,
+            placement_strategy="embedding",
+        ),
+        fleets=[
+            ClientFleetSpec(
+                name="embb",
+                count=2,
+                position=(10.0, 0.0),
+                spread_m=10.0,
+                workloads=[
+                    WorkloadSpec(
+                        kind="video",
+                        start_s=4.0,
+                        params={
+                            "segment_interval_s": 1.0,
+                            "packets_per_segment": 12,
+                            "payload_bytes": 1200,
+                        },
+                    ),
+                ],
+            ),
+            ClientFleetSpec(
+                name="iot",
+                count=3,
+                position=(90.0, 0.0),
+                spread_m=10.0,
+                workloads=[
+                    WorkloadSpec(
+                        kind="cbr",
+                        start_s=5.0,
+                        params={"rate_pps": 5.0, "payload_bytes": 200},
+                    ),
+                ],
+            ),
+        ],
+        bundles=[
+            BundleAssignmentSpec(fleet="embb", bundle="mobile-core", version=1, slice="embb", attach_at_s=1.5),
+            BundleAssignmentSpec(fleet="iot", bundle="mobile-core", version=1, slice="iot", attach_at_s=2.0),
+        ],
+    )
+
+
+@register_scenario("upf-edge-vs-core")
+def _upf_edge_vs_core(seed: int) -> ScenarioSpec:
+    """UPF-at-edge ablation: breakout traffic terminates locally vs backhauled."""
+    fleets = []
+    assignments = []
+    for name, x, breakout in (("edge", 0.0, True), ("core", 80.0, False)):
+        fleets.append(
+            ClientFleetSpec(
+                name=name,
+                count=2,
+                position=(x, 0.0),
+                spread_m=8.0,
+                workloads=[
+                    # CBR aimed at the breakout port, so the edge UPF absorbs
+                    # it at the station while the core UPF tunnels it upstream.
+                    WorkloadSpec(
+                        kind="cbr",
+                        start_s=4.0,
+                        params={"rate_pps": 40.0, "payload_bytes": 800, "dst_port": 8080},
+                    ),
+                ],
+            )
+        )
+        assignments.append(
+            ChainAssignmentSpec(
+                fleet=name,
+                nfs=[
+                    {
+                        "nf_type": "upf",
+                        "config": {"edge_breakout": breakout, "breakout_ports": [8080]},
+                    }
+                ],
+                attach_at_s=1.0,
+            )
+        )
+    return ScenarioSpec(
+        name="upf-edge-vs-core",
+        description=(
+            "Two identical CBR fleets aimed at port 8080 behind UPF chains: "
+            "station-1's UPF runs edge breakout and terminates the flows at "
+            "the station, station-2's tunnels everything upstream -- the "
+            "backhaul saving shows up as breakout vs tunneled byte counters."
+        ),
+        seed=seed,
+        duration_s=40.0,
+        topology=TopologySpec(station_count=2, station_spacing_m=80.0),
+        fleets=fleets,
+        assignments=assignments,
+    )
+
+
+@register_scenario("bundle-rolling-upgrade")
+def _bundle_rolling_upgrade(seed: int) -> ScenarioSpec:
+    """Roll mobile-core v1 -> v2 across four live instances under chaos."""
+    fleets = []
+    bundles = []
+    placements = (
+        ("embb-a", 0.0, "embb", 1.5),
+        ("iot-a", 80.0, "iot", 2.0),
+        ("embb-b", 160.0, "embb", 2.5),
+        ("iot-b", 240.0, "iot", 3.0),
+    )
+    for name, x, slice_name, attach_at in placements:
+        rate = 25.0 if slice_name == "embb" else 8.0
+        fleets.append(
+            ClientFleetSpec(
+                name=name,
+                count=1,
+                position=(x, 0.0),
+                workloads=[
+                    WorkloadSpec(kind="cbr", start_s=4.0, params={"rate_pps": rate}),
+                ],
+            )
+        )
+        bundles.append(
+            BundleAssignmentSpec(
+                fleet=name,
+                bundle="mobile-core",
+                version=1,
+                slice=slice_name,
+                attach_at_s=attach_at,
+            )
+        )
+    return ScenarioSpec(
+        name="bundle-rolling-upgrade",
+        description=(
+            "Four mobile-core@v1 instances (two eMBB, two IoT slices) on "
+            "four stations; at t=20 the orchestrator walks them to v2 with "
+            "pre-copy cutovers while station-2 crashes and recovers mid-"
+            "roll -- the upgrade retries around the outage and every "
+            "instance ends the run on v2 with zero coverage gap."
+        ),
+        seed=seed,
+        duration_s=60.0,
+        topology=TopologySpec(station_count=4, station_spacing_m=80.0, migration_strategy="cold"),
+        fleets=fleets,
+        bundles=bundles,
+        upgrades=[
+            BundleUpgradeSpec(bundle="mobile-core", to_version=2, at_s=20.0, mode="precopy"),
+        ],
+        faults=[
+            FaultSpec(kind="station-crash", station=2, at_s=18.0, duration_s=10.0),
+        ],
     )

@@ -257,6 +257,15 @@ class ScenarioRun:
                 self._control(
                     assignment_spec.attach_at_s, self._attach, assignment_spec, order, client_name, 0
                 )
+        for order, bundle_spec in enumerate(self.spec.bundles):
+            fleet = self.spec.fleet(bundle_spec.fleet)
+            for client_name in fleet.client_names():
+                self._control(
+                    bundle_spec.attach_at_s,
+                    self._attach_bundle, bundle_spec, order, client_name, 0,
+                )
+        for upgrade_spec in self.spec.upgrades:
+            self._control(upgrade_spec.at_s, self._run_upgrade, upgrade_spec)
         self.faults.schedule_all(self.spec.faults)
 
     def _scatter(self, fleet: ClientFleetSpec, index: int) -> Tuple[float, float]:
@@ -395,6 +404,58 @@ class ScenarioRun:
             delay = max(0.0, assignment_spec.detach_at_s - self.simulator.now)
             self._control(delay, self._detach, assignment)
 
+    def _attach_bundle(self, bundle_spec, order: int, client_name: str, attempt: int) -> None:
+        """Instantiate a catalogued bundle (or one slice of it) for a client.
+
+        The compiled chain goes through the exact same attach machinery as a
+        plain ChainAssignmentSpec; the only extra step is registering the
+        live instance with the BundleUpgradeOrchestrator so a later
+        BundleUpgradeSpec can find and roll it.
+        """
+        client = self.testbed.clients.get(client_name)
+        if client is None or not client.is_connected:
+            self._retry_bundle_attach(bundle_spec, order, client_name, attempt)
+            return
+        bundle = self.testbed.upgrades.catalogue.get(bundle_spec.bundle, bundle_spec.version)
+        chain = bundle.chain_for(bundle_spec.slice)
+        try:
+            assignment = self.testbed.manager.attach_chain(client.ip, chain)
+        except UnknownClientError:
+            station = client.current_station_name
+            if station is None:
+                self._retry_bundle_attach(bundle_spec, order, client_name, attempt)
+                return
+            assignment = self.testbed.manager.attach_chain(client.ip, chain, station_name=station)
+        self.assignments.append((client_name, assignment))
+        self.testbed.upgrades.register_instance(
+            assignment.assignment_id,
+            bundle.name,
+            bundle.version,
+            bundle_spec.slice,
+            client.ip,
+            fleet=bundle_spec.fleet,
+        )
+        if bundle_spec.detach_at_s is not None:
+            delay = max(0.0, bundle_spec.detach_at_s - self.simulator.now)
+            self._control(delay, self._detach_bundle, assignment)
+
+    def _retry_bundle_attach(self, bundle_spec, order: int, client_name: str, attempt: int) -> None:
+        if attempt + 1 >= _ATTACH_MAX_ATTEMPTS:
+            self.attach_failures.append(f"{client_name}/bundle{order}")
+            return
+        self._control(
+            _ATTACH_RETRY_S, self._attach_bundle, bundle_spec, order, client_name, attempt + 1
+        )
+
+    def _detach_bundle(self, assignment: Assignment) -> None:
+        self.testbed.upgrades.forget_instance(assignment.assignment_id)
+        self._detach(assignment)
+
+    def _run_upgrade(self, upgrade_spec) -> None:
+        self.testbed.upgrades.upgrade_bundle(
+            upgrade_spec.bundle, upgrade_spec.to_version, mode=upgrade_spec.mode
+        )
+
     def _retry_attach(self, assignment_spec, order: int, client_name: str, attempt: int) -> None:
         if attempt + 1 >= _ATTACH_MAX_ATTEMPTS:
             self.attach_failures.append(f"{client_name}/assignment{order}")
@@ -498,6 +559,15 @@ class ScenarioRun:
                 "deployments_failed": agent.deployments_failed,
                 "heartbeats_sent": agent.heartbeats_sent,
                 "connected_clients": sorted(agent.connected_clients.values()),
+                # Edge-cache effectiveness is a per-station property (backhaul
+                # savings), sampled by the Agent collector's ``cache`` source
+                # on every tick -- digested here the way ``flows.*`` counters
+                # are observable, so cache regressions flip the digest.
+                "cache": {
+                    key: value
+                    for key, value in sorted(agent.collector.latest().items())
+                    if key.startswith("cache.")
+                },
             }
         gateway = testbed.topology.gateway
         manager = testbed.manager
@@ -605,6 +675,10 @@ class ScenarioRun:
                 "summary": self.faults.summary(),
                 "log": self.faults.applied,
             },
+            # Live bundle census (``bundle@vN`` -> count), upgrade walk
+            # counters and the per-upgrade records -- keyed by client_ip,
+            # never by assignment id (process-global counter).
+            "bundles": testbed.upgrades.telemetry(),
             "attach_failures": sorted(self.attach_failures),
         }
 

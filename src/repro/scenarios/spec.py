@@ -258,6 +258,87 @@ class ChainAssignmentSpec:
         }
 
 
+UPGRADE_MODES = ("precopy", "stateful")
+
+
+@dataclass
+class BundleAssignmentSpec:
+    """Instantiate a catalogued service bundle for every client of a fleet.
+
+    ``bundle`` names a :class:`repro.core.bundles.BundleSpec` in the default
+    catalogue; ``version`` pins one (0 means the latest registered).
+    ``slice`` selects a named slice of the bundle's NF graph (eMBB vs. IoT,
+    each with its own SLO) -- empty runs the full graph.  The runner compiles
+    the bundle into a plain ServiceChain at ``attach_at_s`` and registers the
+    live instance with the testbed's BundleUpgradeOrchestrator, so a later
+    :class:`BundleUpgradeSpec` can roll it forward.
+    """
+
+    fleet: str
+    bundle: str
+    version: int = 0
+    slice: str = ""
+    attach_at_s: float = 1.0
+    detach_at_s: Optional[float] = None
+
+    def validate(self) -> None:
+        if not self.fleet:
+            raise ScenarioSpecError("bundle assignment fleet must be non-empty")
+        if not self.bundle:
+            raise ScenarioSpecError("bundle assignment bundle name must be non-empty")
+        if self.version < 0:
+            raise ScenarioSpecError(f"bundle version must be >= 0, got {self.version}")
+        if self.attach_at_s < 0:
+            raise ScenarioSpecError(f"attach_at_s must be >= 0, got {self.attach_at_s}")
+        if self.detach_at_s is not None and self.detach_at_s <= self.attach_at_s:
+            raise ScenarioSpecError(
+                f"detach_at_s ({self.detach_at_s}) must be after attach_at_s ({self.attach_at_s})"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fleet": self.fleet,
+            "bundle": self.bundle,
+            "version": self.version,
+            "slice": self.slice,
+            "attach_at_s": self.attach_at_s,
+            "detach_at_s": self.detach_at_s,
+        }
+
+
+@dataclass
+class BundleUpgradeSpec:
+    """Roll every live instance of ``bundle`` to ``to_version`` at ``at_s``.
+
+    ``mode`` picks the state-copy discipline: ``precopy`` (iterative dirty
+    rounds while the old chain serves; zero coverage gap) or ``stateful``
+    (suspend, copy everything, cut over; simple but gapped).
+    """
+
+    bundle: str
+    to_version: int
+    at_s: float = 0.0
+    mode: str = "precopy"
+
+    def validate(self) -> None:
+        if not self.bundle:
+            raise ScenarioSpecError("upgrade bundle name must be non-empty")
+        if self.to_version < 1:
+            raise ScenarioSpecError(f"upgrade to_version must be >= 1, got {self.to_version}")
+        if self.at_s < 0:
+            raise ScenarioSpecError(f"upgrade at_s must be >= 0, got {self.at_s}")
+        if self.mode not in UPGRADE_MODES:
+            raise ScenarioSpecError(f"unknown upgrade mode {self.mode!r}; valid: {UPGRADE_MODES}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bundle": self.bundle,
+            "to_version": self.to_version,
+            "at_s": self.at_s,
+            "mode": self.mode,
+        }
+
+
 @dataclass
 class FaultSpec:
     """One injected fault.
@@ -485,6 +566,8 @@ class ScenarioSpec:
     topology: TopologySpec = field(default_factory=TopologySpec)
     fleets: List[ClientFleetSpec] = field(default_factory=list)
     assignments: List[ChainAssignmentSpec] = field(default_factory=list)
+    bundles: List[BundleAssignmentSpec] = field(default_factory=list)
+    upgrades: List[BundleUpgradeSpec] = field(default_factory=list)
     faults: List[FaultSpec] = field(default_factory=list)
 
     def validate(self) -> "ScenarioSpec":
@@ -505,6 +588,21 @@ class ScenarioSpec:
                 raise ScenarioSpecError(
                     f"assignment references unknown fleet {assignment.fleet!r}; "
                     f"known fleets: {sorted(fleet_names)}"
+                )
+        for bundle in self.bundles:
+            bundle.validate()
+            if bundle.fleet not in fleet_names:
+                raise ScenarioSpecError(
+                    f"bundle assignment references unknown fleet {bundle.fleet!r}; "
+                    f"known fleets: {sorted(fleet_names)}"
+                )
+        bundle_names = {bundle.bundle for bundle in self.bundles}
+        for upgrade in self.upgrades:
+            upgrade.validate()
+            if upgrade.bundle not in bundle_names:
+                raise ScenarioSpecError(
+                    f"upgrade references bundle {upgrade.bundle!r} but no bundle "
+                    f"assignment instantiates it; known: {sorted(bundle_names)}"
                 )
         for fault in self.faults:
             fault.validate()
@@ -536,5 +634,7 @@ class ScenarioSpec:
             "topology": self.topology.to_dict(),
             "fleets": [fleet.to_dict() for fleet in self.fleets],
             "assignments": [assignment.to_dict() for assignment in self.assignments],
+            "bundles": [bundle.to_dict() for bundle in self.bundles],
+            "upgrades": [upgrade.to_dict() for upgrade in self.upgrades],
             "faults": [fault.to_dict() for fault in self.faults],
         }

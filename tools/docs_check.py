@@ -13,7 +13,9 @@ Verifies that the documentation cannot silently rot:
 3. The benchmark catalogue in ``docs/BENCHMARKS.md`` lists *exactly* the
    ``benchmarks/bench_*.py`` modules (every bench file has a row, every
    row cites an existing file).
-4. (``--run-snippets``) The README's Python quickstart snippets execute
+4. The bundle table in ``docs/ARCHITECTURE.md`` lists *exactly* the
+   ``name@vN`` refs registered in the default bundle catalogue.
+5. (``--run-snippets``) The README's Python quickstart snippets execute
    successfully against the current tree.
 
 Run from the repository root::
@@ -58,6 +60,9 @@ _SCENARIO_TABLE_ROW = re.compile(r"^\|\s*`([a-z0-9\-]+)`\s*\|", re.MULTILINE)
 _BENCH_TABLE_ROW = re.compile(
     r"^\|\s*E\d+[a-z]?\s*\|\s*`(benchmarks/bench_[a-z0-9_]+\.py)`", re.MULTILINE
 )
+
+#: Rows of the bundle table in docs/ARCHITECTURE.md: | `name@vN` | ... |
+_BUNDLE_TABLE_ROW = re.compile(r"^\|\s*`([a-z0-9\-]+@v\d+)`\s*\|", re.MULTILINE)
 
 _PYTHON_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
@@ -129,6 +134,20 @@ def check_bench_catalogue() -> List[str]:
     return problems
 
 
+def check_bundle_catalogue() -> List[str]:
+    """docs/ARCHITECTURE.md must table exactly the catalogued bundle refs."""
+    from repro.core.bundles import default_catalogue
+
+    registered = set(default_catalogue().refs())
+    documented = set(_BUNDLE_TABLE_ROW.findall(_read("docs/ARCHITECTURE.md")))
+    problems: List[str] = []
+    for missing in sorted(registered - documented):
+        problems.append(f"docs/ARCHITECTURE.md: catalogued bundle {missing!r} missing from the table")
+    for stale in sorted(documented - registered):
+        problems.append(f"docs/ARCHITECTURE.md: table lists unknown bundle {stale!r}")
+    return problems
+
+
 def readme_snippets() -> List[Tuple[int, str]]:
     """The README's ```python fences, with their ordinal for error messages."""
     return list(enumerate(_PYTHON_FENCE.findall(_read("README.md")), start=1))
@@ -156,7 +175,10 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
 
     problems = (
-        check_paths(DOC_FILES) + check_scenario_names(DOC_FILES) + check_bench_catalogue()
+        check_paths(DOC_FILES)
+        + check_scenario_names(DOC_FILES)
+        + check_bench_catalogue()
+        + check_bundle_catalogue()
     )
     if args.run_snippets:
         problems += run_readme_snippets()
