@@ -126,6 +126,18 @@ def pytest_addoption(parser):
         help="Simulated seconds of load before the E15 upgrade fires (default: 20)",
     )
     group.addoption(
+        "--e16-seed",
+        type=int,
+        default=0,
+        help="Master seed for the E16 cache-placement ablation runs (default: 0)",
+    )
+    group.addoption(
+        "--e16-gen-duration",
+        type=float,
+        default=30.0,
+        help="Simulated seconds for the E16 generator events/flow leg (default: 30)",
+    )
+    group.addoption(
         "--e12-clients",
         type=int,
         default=0,

@@ -331,7 +331,10 @@ class GNFAgent:
             "hits": 0.0,
             "misses": 0.0,
             "evictions": 0.0,
+            "expirations": 0.0,
+            "admission_rejects": 0.0,
             "bytes_served_from_cache": 0.0,
+            "backhaul_bytes_saved": 0.0,
             "objects": 0.0,
         }
         for container in self.runtime.running_containers():
@@ -342,7 +345,10 @@ class GNFAgent:
             totals["hits"] += float(getattr(nf, "hits", 0))
             totals["misses"] += float(getattr(nf, "misses", 0))
             totals["evictions"] += float(getattr(nf, "evictions", 0))
+            totals["expirations"] += float(getattr(nf, "expirations", 0))
+            totals["admission_rejects"] += float(getattr(nf, "admission_rejects", 0))
             totals["bytes_served_from_cache"] += float(nf.bytes_served_from_cache)
+            totals["backhaul_bytes_saved"] += float(getattr(nf, "backhaul_bytes_saved", 0))
             totals["objects"] += float(getattr(nf, "object_count", 0))
         return totals
 

@@ -673,7 +673,13 @@ class ShardedManager:
     #: Heartbeat cache totals streamed into the rollup tree.  The heartbeat
     #: carries cumulative per-station values; the frontend diffs them against
     #: the last push so the rollup counters stay additive integers.
-    _CACHE_ROLLUP_KEYS = ("hits", "misses", "evictions", "bytes_served_from_cache")
+    _CACHE_ROLLUP_KEYS = (
+        "hits",
+        "misses",
+        "evictions",
+        "bytes_served_from_cache",
+        "backhaul_bytes_saved",
+    )
 
     def _push_cache_rollup(self, node: RollupCounters, heartbeat: AgentHeartbeat) -> None:
         if not heartbeat.cache:

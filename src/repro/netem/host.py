@@ -293,8 +293,16 @@ class Server(Host):
         response: Optional["Packet"] = None
         if isinstance(packet.app, pkt.HTTPRequest):
             self.requests_served += 1
+            # ABR segment fetches name their own object size (the bitrate
+            # ladder decides it); everything else gets the server default.
+            body_bytes = packet.metadata.get("http_body_bytes", self.http_body_bytes)
+            content_type = packet.metadata.get("http_content_type", "text/html")
             response = pkt.make_http_response(
-                packet, status=200, body_bytes=self.http_body_bytes, created_at=self.simulator.now
+                packet,
+                status=200,
+                body_bytes=int(body_bytes),  # type: ignore[arg-type]
+                content_type=str(content_type),
+                created_at=self.simulator.now,
             )
         elif isinstance(packet.app, pkt.DNSQuery):
             self.dns_queries_served += 1
@@ -330,4 +338,9 @@ class Server(Host):
             response.metadata.update(
                 {k: v for k, v in packet.metadata.items() if k.startswith("probe_")}
             )
+            # Protocol tags ride back on the response so protocol-aware NFs
+            # (per-protocol cache admission) classify both directions alike.
+            for key in ("app_protocol", "quic_cid"):
+                if key in packet.metadata:
+                    response.metadata[key] = packet.metadata[key]
             self.simulator.schedule(self.processing_delay_s, self.send, response, interface)

@@ -447,10 +447,16 @@ def make_http_response(
     content_type: str = "text/html",
     created_at: float = 0.0,
 ) -> Packet:
-    """Build the HTTP response matching ``request`` (headers swapped)."""
+    """Build the HTTP response matching ``request`` (headers swapped).
+
+    The request may ride TCP (classic HTTP) or UDP (QUIC-style HTTP): the
+    response reuses the request's transport with the ports swapped either way.
+    """
     if not isinstance(request.app, HTTPRequest):
         raise ValueError("make_http_response() needs a packet carrying an HTTPRequest")
-    assert request.eth is not None and request.ip is not None and isinstance(request.l4, TCPHeader)
+    if not isinstance(request.l4, (TCPHeader, UDPHeader)):
+        raise ValueError("make_http_response() needs a TCP or UDP transport header")
+    assert request.eth is not None and request.ip is not None
     return Packet(
         eth=request.eth.swapped(),
         ip=request.ip.swapped(),
@@ -464,6 +470,46 @@ def make_http_response(
         payload_bytes=0,
         created_at=created_at,
     )
+
+
+#: Conventional QUIC (HTTP/3) server port.
+QUIC_PORT = 443
+
+
+def make_quic_request(
+    src_ip: str,
+    dst_ip: str,
+    host: str,
+    path: str = "/",
+    connection_id: int = 0,
+    method: str = "GET",
+    src_port: int = 51000,
+    dst_port: int = QUIC_PORT,
+    zero_rtt: bool = False,
+    created_at: float = 0.0,
+) -> Packet:
+    """Build a QUIC-style HTTP request: an :class:`HTTPRequest` over UDP/443.
+
+    QUIC flows are identified by their connection ID, not their 5-tuple, so
+    the ID travels in ``metadata["quic_cid"]`` -- NAT/firewall NFs keyed on
+    the 5-tuple see a *new* flow after a port migration while the application
+    session (and any cache key) is unchanged.  ``metadata["app_protocol"]``
+    is ``"quic"`` so protocol-aware NFs (the edge cache's per-protocol
+    cacheability) can tell it apart from TCP HTTP.
+    """
+    packet = make_udp_packet(
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+        app=HTTPRequest(method=method, host=host, path=path),
+        created_at=created_at,
+    )
+    packet.metadata["app_protocol"] = "quic"
+    packet.metadata["quic_cid"] = connection_id
+    if zero_rtt:
+        packet.metadata["quic_zero_rtt"] = True
+    return packet
 
 
 def make_dns_query(

@@ -13,9 +13,22 @@ repeatable traffic:
   DNS load balancer NF's rewrites are observable.
 * :class:`VideoWorkloadGenerator` -- periodic segment bursts approximating
   adaptive streaming.
+* :class:`QUICWorkloadGenerator` -- 0-RTT-style request bursts on
+  connection-ID-keyed UDP flows with mid-life port migrations (what NAT and
+  firewall NFs see of the QUIC era).
+* :class:`ABRVideoGenerator` -- bitrate-ladder segment fetches that adapt to
+  measured throughput; viewers of the same content share cache keys.
 * :class:`BulkTransferGenerator` -- one-way bulk uploads with a fixed byte
   budget; the only workload the hybrid fluid core may lift out of the
   packet world (see :mod:`repro.netem.fluid`).
+
+Every generator carries an **intensity** knob (:meth:`_GeneratorBase.set_intensity`):
+inter-event delays are divided by it, 0 pauses the generator and a later
+non-zero value resumes it.  The scenario layer's traffic *eras*
+(:class:`~repro.scenarios.spec.TrafficEraSpec`) drive this knob to shift the
+per-protocol mix over scenario time.  ``stop()`` cancels every event the
+generator still has in flight, so a stopped generator leaves nothing on the
+simulator queue.
 
 Generators talk to any object satisfying :class:`TrafficEndpoint` (the
 wireless :class:`~repro.wireless.client.MobileClient` in practice).
@@ -26,12 +39,14 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Sequence
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
 
 from repro.netem import packet as pkt
 from repro.netem.fluid import FluidFlow, HybridScheduler
 from repro.netem.packet import Packet
-from repro.netem.simulator import Simulator
+from repro.netem.simulator import Event, Simulator
 
 _generator_ids = itertools.count(1)
 
@@ -70,10 +85,15 @@ class _GeneratorBase:
         self.generator_id = next(_generator_ids)
         self.name = name or f"{type(self).__name__}-{self.generator_id}"
         self.running = False
+        #: Offered-load multiplier: inter-event delays are divided by it.
+        #: 1.0 is the generator's native pace, 0.0 pauses it (the traffic-era
+        #: machinery resumes it with a later ``set_intensity``).
+        self.intensity = 1.0
         self.packets_sent = 0
         self.bytes_sent = 0
         self.responses_received = 0
         self.latency_samples: List[LatencySample] = []
+        self._pending_events: List[Event] = []
         client.add_receive_listener(self._on_receive)
 
     # ------------------------------------------------------------ control
@@ -84,12 +104,45 @@ class _GeneratorBase:
         return self
 
     def stop(self) -> None:
+        """Stop the generator and cancel every event it still has in flight."""
         self.running = False
+        for event in self._pending_events:
+            if event.pending:
+                event.cancel()
+        self._pending_events.clear()
+
+    def set_intensity(self, intensity: float) -> None:
+        """Rescale the offered load; 0 pauses, a later non-zero value resumes."""
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        self.intensity = float(intensity)
+        # A paused generator has no pending self-chain: kick a fresh one.
+        # (With a chain still pending the new pace applies from its next hop.)
+        if self.running and self.intensity > 0.0 and not self._has_pending():
+            self._schedule_next()
 
     # ------------------------------------------------------------- hooks
 
     def _schedule_next(self, initial: bool = False) -> None:
         raise NotImplementedError
+
+    def _schedule(self, delay: float, callback: Callable[..., None], *args) -> Event:
+        """Schedule a tracked event (``stop()`` cancels whatever is pending)."""
+        event = self.simulator.schedule(delay, callback, *args)
+        self._pending_events.append(event)
+        if len(self._pending_events) > 32:
+            self._pending_events = [e for e in self._pending_events if e.pending]
+        return event
+
+    def _has_pending(self) -> bool:
+        self._pending_events = [e for e in self._pending_events if e.pending]
+        return bool(self._pending_events)
+
+    def _scaled_delay(self, base_delay: float) -> Optional[float]:
+        """Intensity-scaled inter-event delay; ``None`` while paused."""
+        if self.intensity <= 0.0:
+            return None
+        return base_delay / self.intensity
 
     def _on_receive(self, packet: Packet) -> None:
         if packet.metadata.get("probe_gen") != self.generator_id:
@@ -173,9 +226,10 @@ class CBRTrafficGenerator(_GeneratorBase):
             return
         if initial:
             self._started_at = self.simulator.now
-            self.simulator.schedule(0.0, self._tick)
-        else:
-            self.simulator.schedule(1.0 / self.rate_pps, self._tick)
+        delay = self._scaled_delay(0.0 if initial else 1.0 / self.rate_pps)
+        if delay is None:
+            return
+        self._schedule(delay, self._tick)
 
     def _tick(self) -> None:
         if not self.running:
@@ -230,8 +284,12 @@ class HTTPWorkloadGenerator(_GeneratorBase):
     def _schedule_next(self, initial: bool = False) -> None:
         if not self.running:
             return
-        delay = 0.0 if initial else self._rng.expovariate(1.0 / self.mean_think_time_s)
-        self.simulator.schedule(delay, self._fetch_page)
+        delay = self._scaled_delay(
+            0.0 if initial else self._rng.expovariate(1.0 / self.mean_think_time_s)
+        )
+        if delay is None:
+            return
+        self._schedule(delay, self._fetch_page)
 
     def _fetch_page(self) -> None:
         if not self.running:
@@ -294,8 +352,10 @@ class DNSWorkloadGenerator(_GeneratorBase):
     def _schedule_next(self, initial: bool = False) -> None:
         if not self.running:
             return
-        delay = 0.0 if initial else self.query_interval_s
-        self.simulator.schedule(delay, self._query)
+        delay = self._scaled_delay(0.0 if initial else self.query_interval_s)
+        if delay is None:
+            return
+        self._schedule(delay, self._query)
 
     def _query(self) -> None:
         if not self.running:
@@ -357,8 +417,10 @@ class VideoWorkloadGenerator(_GeneratorBase):
     def _schedule_next(self, initial: bool = False) -> None:
         if not self.running:
             return
-        delay = 0.0 if initial else self.segment_interval_s
-        self.simulator.schedule(delay, self._request_segment)
+        delay = self._scaled_delay(0.0 if initial else self.segment_interval_s)
+        if delay is None:
+            return
+        self._schedule(delay, self._request_segment)
 
     def _request_segment(self) -> None:
         if not self.running:
@@ -374,8 +436,9 @@ class VideoWorkloadGenerator(_GeneratorBase):
                 src_mac=self.client.mac,
             )
             packet.metadata["probe_seq"] = (self.segments_requested, index)
-            # Spread the burst over a millisecond so queues see back-to-back packets.
-            self.simulator.schedule(index * 0.00005, self._stamp_and_send, packet)
+            # Spread the burst over a millisecond so queues see back-to-back
+            # packets; tracked so stop() cancels an in-flight burst tail.
+            self._schedule(index * 0.00005, self._stamp_and_send, packet)
         self._schedule_next()
 
     def stats(self) -> Dict[str, float]:
@@ -450,7 +513,8 @@ class BulkTransferGenerator(_GeneratorBase):
         return self
 
     def stop(self) -> None:
-        self.running = False
+        super().stop()
+        self._tick_scheduled = False
         if not self.transfer_complete:
             self.scheduler.deregister(self.flow)
 
@@ -462,8 +526,10 @@ class BulkTransferGenerator(_GeneratorBase):
         if self.flow.mode != "packet" or self._tick_scheduled:
             return
         self._tick_scheduled = True
+        # Bulk pacing is a byte-budget contract, not an era share: the chunk
+        # interval is never intensity-scaled (bulk is not era-scalable).
         delay = 0.0 if initial else self._chunk_interval_s
-        self.simulator.schedule(delay, self._tick)
+        self._schedule(delay, self._tick)
 
     def _tick(self) -> None:
         self._tick_scheduled = False
@@ -530,4 +596,321 @@ class BulkTransferGenerator(_GeneratorBase):
         # One-way traffic: no responses exist, so the request/response loss
         # metric is meaningless here.
         combined["loss_rate"] = 0.0
+        return combined
+
+
+class QUICWorkloadGenerator(_GeneratorBase):
+    """QUIC-style web workload: 0-RTT request bursts on connection-ID flows.
+
+    QUIC resumes sessions with 0-RTT flights, so requests leave in bursts
+    with no handshake pacing.  Flows are identified by connection ID rather
+    than 5-tuple; a connection occasionally migrates to a fresh source port
+    mid-life (NAT rebinding) while keeping its ID, so NAT/firewall NFs keyed
+    on the 5-tuple see a brand-new flow while the application session -- and
+    any cache key -- is unchanged.  The generator is vectorized: the
+    per-burst gap/size/migration decisions are pre-drawn as numpy blocks and
+    each burst is emitted back-to-back inside a single simulator event.
+    """
+
+    _BLOCK = 64
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        client: TrafficEndpoint,
+        server_ip: str,
+        sites: Sequence[str] = ("example.com", "app.example.org", "cdn.example.com"),
+        paths: Sequence[str] = ("/", "/api/feed", "/assets/bundle.js"),
+        mean_gap_s: float = 0.8,
+        max_burst: int = 4,
+        requests_per_connection: int = 8,
+        migrate_probability: float = 0.15,
+        seed: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(simulator, client, name=name)
+        if mean_gap_s <= 0:
+            raise ValueError(f"mean_gap_s must be positive, got {mean_gap_s}")
+        if max_burst < 1:
+            raise ValueError(f"max_burst must be >= 1, got {max_burst}")
+        if requests_per_connection < 1:
+            raise ValueError(
+                f"requests_per_connection must be >= 1, got {requests_per_connection}"
+            )
+        if not 0.0 <= migrate_probability <= 1.0:
+            raise ValueError(
+                f"migrate_probability must be in [0, 1], got {migrate_probability}"
+            )
+        self.server_ip = server_ip
+        self.sites = list(sites)
+        self.paths = list(paths)
+        self.mean_gap_s = float(mean_gap_s)
+        self.max_burst = int(max_burst)
+        self.requests_per_connection = int(requests_per_connection)
+        self.migrate_probability = float(migrate_probability)
+        # ``None`` keeps a historical fixed seed (mirrors HTTP/DNS); scenario
+        # runs thread a per-workload seed derived from the master seed.
+        self._rng = random.Random(13 if seed is None else seed)
+        self.connections_opened = 0
+        self.zero_rtt_requests = 0
+        self.migrations = 0
+        self.bytes_downloaded = 0
+        self._cid: Optional[int] = None
+        self._src_port = 0
+        self._requests_on_connection = 0
+        self._next_gap_s = 0.0
+        self._gaps: Optional[np.ndarray] = None
+        self._bursts: Optional[np.ndarray] = None
+        self._migrate_draws: Optional[np.ndarray] = None
+        self._block_index = self._BLOCK
+
+    # ----------------------------------------------------------- vectorized
+
+    def _draw(self) -> Tuple[float, int, float]:
+        """Next (gap, burst size, migration draw), refilling the numpy block."""
+        if self._block_index >= self._BLOCK:
+            block_rng = np.random.RandomState(self._rng.randrange(2**32))
+            self._gaps = block_rng.exponential(self.mean_gap_s, self._BLOCK)
+            self._bursts = block_rng.randint(1, self.max_burst + 1, self._BLOCK)
+            self._migrate_draws = block_rng.random_sample(self._BLOCK)
+            self._block_index = 0
+        index = self._block_index
+        self._block_index += 1
+        assert self._gaps is not None and self._bursts is not None
+        assert self._migrate_draws is not None
+        return (
+            float(self._gaps[index]),
+            int(self._bursts[index]),
+            float(self._migrate_draws[index]),
+        )
+
+    # -------------------------------------------------------------- ticking
+
+    def _schedule_next(self, initial: bool = False) -> None:
+        if not self.running:
+            return
+        delay = self._scaled_delay(0.0 if initial else self._next_gap_s)
+        if delay is None:
+            return
+        self._schedule(delay, self._send_burst)
+
+    def _open_connection(self) -> None:
+        self.connections_opened += 1
+        self._cid = self._rng.getrandbits(62)
+        self._src_port = 51_000 + self._rng.randrange(1000)
+        self._requests_on_connection = 0
+
+    def _migrate(self) -> None:
+        self.migrations += 1
+        self._src_port = 51_000 + self._rng.randrange(1000)
+
+    def _send_burst(self) -> None:
+        if not self.running:
+            return
+        gap, burst, migrate_draw = self._draw()
+        self._next_gap_s = gap
+        fresh = self._cid is None or (
+            self._requests_on_connection >= self.requests_per_connection
+        )
+        if fresh:
+            self._open_connection()
+        elif migrate_draw < self.migrate_probability:
+            self._migrate()
+        host = self._rng.choice(self.sites)
+        for _ in range(burst):
+            request = pkt.make_quic_request(
+                src_ip=self.client.ip,
+                dst_ip=self.server_ip,
+                host=host,
+                path=self._rng.choice(self.paths),
+                connection_id=self._cid or 0,
+                src_port=self._src_port,
+                zero_rtt=fresh,
+            )
+            if request.eth is not None:
+                request.eth.src = self.client.mac
+            if fresh:
+                self.zero_rtt_requests += 1
+            self._requests_on_connection += 1
+            self._stamp_and_send(request)
+        self._schedule_next()
+
+    def _handle_response(self, packet: Packet) -> None:
+        if isinstance(packet.app, pkt.HTTPResponse):
+            self.bytes_downloaded += packet.app.body_bytes
+
+    def stats(self) -> Dict[str, float]:
+        combined = super().stats()
+        combined.update(
+            {
+                "connections_opened": float(self.connections_opened),
+                "zero_rtt_requests": float(self.zero_rtt_requests),
+                "migrations": float(self.migrations),
+                "bytes_downloaded": float(self.bytes_downloaded),
+            }
+        )
+        return combined
+
+
+class ABRVideoGenerator(_GeneratorBase):
+    """Adaptive-bitrate streaming: ladder-priced segment fetches over HTTP.
+
+    Every ``segment_duration_s`` the player fetches its content's next
+    segment at the current ladder rung; the object size is the rung's bitrate
+    times the segment duration, and the URL names content, segment number and
+    rung -- viewers of the same content request the *same* objects, so a warm
+    edge cache serves whole segments locally.  Measured segment throughput
+    (EWMA of body bits over fetch RTT) shifts the rung up when it comfortably
+    exceeds the next rung's bitrate and down when it drops below the current
+    one, with two-in-a-row hysteresis so a single outlier fetch cannot flap
+    the ladder.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        client: TrafficEndpoint,
+        server_ip: str,
+        content: Optional[str] = None,
+        catalog: Sequence[str] = ("movie-a", "movie-b"),
+        host: str = "video.example.net",
+        ladder_bps: Sequence[float] = (250_000.0, 500_000.0, 1_000_000.0, 2_500_000.0),
+        segment_duration_s: float = 2.0,
+        initial_rung: int = 1,
+        upshift_headroom: float = 1.25,
+        ewma_alpha: float = 0.3,
+        loop_segments: Optional[int] = None,
+        src_port: Optional[int] = None,
+        seed: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(simulator, client, name=name)
+        ladder = [float(rate) for rate in ladder_bps]
+        if not ladder or any(b <= a for a, b in zip(ladder, ladder[1:])):
+            raise ValueError(f"ladder_bps must be non-empty and ascending, got {ladder_bps}")
+        if segment_duration_s <= 0:
+            raise ValueError(f"segment_duration_s must be positive, got {segment_duration_s}")
+        if not 0 <= initial_rung < len(ladder):
+            raise ValueError(f"initial_rung {initial_rung} outside ladder of {len(ladder)}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        if loop_segments is not None and loop_segments < 1:
+            raise ValueError(f"loop_segments must be >= 1, got {loop_segments}")
+        #: A looping playlist (trailer/short clip): segment numbers wrap
+        #: modulo this, so the same URLs recur and an edge cache can serve
+        #: them.  None streams linearly forward (every URL unique).
+        self.loop_segments = loop_segments
+        self.server_ip = server_ip
+        self.host = host
+        self.ladder_bps = ladder
+        self.segment_duration_s = float(segment_duration_s)
+        self.rung = int(initial_rung)
+        self.upshift_headroom = float(upshift_headroom)
+        self.ewma_alpha = float(ewma_alpha)
+        self._rng = random.Random(17 if seed is None else seed)
+        self.content = content if content is not None else self._rng.choice(list(catalog))
+        # An explicit source port keeps the flow 5-tuple independent of the
+        # process-global generator counter (scenario replay needs it).
+        self.src_port = src_port if src_port is not None else 46_000 + (self.generator_id % 1000)
+        self.segments_requested = 0
+        self.segments_received = 0
+        self.bytes_downloaded = 0
+        self.upshifts = 0
+        self.downshifts = 0
+        self.throughput_ewma_bps = 0.0
+        self._up_votes = 0
+        self._down_votes = 0
+
+    # -------------------------------------------------------------- ticking
+
+    def _schedule_next(self, initial: bool = False) -> None:
+        if not self.running:
+            return
+        delay = self._scaled_delay(0.0 if initial else self.segment_duration_s)
+        if delay is None:
+            return
+        self._schedule(delay, self._fetch_segment)
+
+    def _fetch_segment(self) -> None:
+        if not self.running:
+            return
+        self.segments_requested += 1
+        bitrate = self.ladder_bps[self.rung]
+        body_bytes = int(bitrate * self.segment_duration_s / 8.0)
+        segment = self.segments_requested
+        if self.loop_segments is not None:
+            segment = (segment - 1) % self.loop_segments + 1
+        request = pkt.make_http_request(
+            src_ip=self.client.ip,
+            dst_ip=self.server_ip,
+            host=self.host,
+            path=f"/{self.content}/seg-{segment}-{int(bitrate)}.m4s",
+            src_port=self.src_port,
+        )
+        if request.eth is not None:
+            request.eth.src = self.client.mac
+        request.metadata["app_protocol"] = "abr"
+        request.metadata["http_body_bytes"] = body_bytes
+        request.metadata["http_content_type"] = "video/mp4"
+        self._stamp_and_send(request)
+        self._schedule_next()
+
+    # ----------------------------------------------------------- adaptation
+
+    def _handle_response(self, packet: Packet) -> None:
+        if not isinstance(packet.app, pkt.HTTPResponse):
+            return
+        self.segments_received += 1
+        self.bytes_downloaded += packet.app.body_bytes
+        if not self.latency_samples:
+            return
+        rtt = self.latency_samples[-1].rtt
+        if rtt <= 0:
+            return
+        sample_bps = packet.app.body_bytes * 8.0 / rtt
+        if self.throughput_ewma_bps <= 0:
+            self.throughput_ewma_bps = sample_bps
+        else:
+            self.throughput_ewma_bps += self.ewma_alpha * (
+                sample_bps - self.throughput_ewma_bps
+            )
+        self._adapt()
+
+    def _adapt(self) -> None:
+        can_up = self.rung + 1 < len(self.ladder_bps)
+        if can_up and self.throughput_ewma_bps >= (
+            self.upshift_headroom * self.ladder_bps[self.rung + 1]
+        ):
+            self._up_votes += 1
+            self._down_votes = 0
+            if self._up_votes >= 2:
+                self.rung += 1
+                self.upshifts += 1
+                self._up_votes = 0
+        elif self.rung > 0 and self.throughput_ewma_bps < self.ladder_bps[self.rung]:
+            self._down_votes += 1
+            self._up_votes = 0
+            if self._down_votes >= 2:
+                self.rung -= 1
+                self.downshifts += 1
+                self._down_votes = 0
+        else:
+            self._up_votes = 0
+            self._down_votes = 0
+
+    # ---------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, float]:
+        combined = super().stats()
+        combined.update(
+            {
+                "segments_requested": float(self.segments_requested),
+                "segments_received": float(self.segments_received),
+                "bytes_downloaded": float(self.bytes_downloaded),
+                "upshifts": float(self.upshifts),
+                "downshifts": float(self.downshifts),
+                "rung": float(self.rung),
+                "throughput_ewma_bps": float(self.throughput_ewma_bps),
+            }
+        )
         return combined

@@ -31,8 +31,8 @@ The spec schema
                    (``static``/``linear``/``waypoint``/``commuter``/
                    ``trace`` + model params) and generating traffic per a
                    list of ``WorkloadSpec`` (``cbr``/``http``/``dns``/
-                   ``video``/``bulk`` + generator params,
-                   ``start_s``/``stop_s``)
+                   ``video``/``bulk``/``quic``/``abr`` + generator params,
+                   ``start_s``/``stop_s``, ``era_scaled``)
 ``assignments``    ``ChainAssignmentSpec`` list: attach the NF chain
                    ``nfs`` (names or ``{"nf_type", "config"}`` dicts) to
                    every client of ``fleet`` at ``attach_at_s``, optionally
@@ -44,6 +44,10 @@ The spec schema
                    ``link-down``, ``container-oom`` against ``station``
                    (name or 1-based index) at ``at_s``, auto-recovering
                    after ``duration_s``
+``eras``           ``TrafficEraSpec`` list: at each (strictly increasing)
+                   ``at_s`` the per-protocol ``shares`` map (summing to 1)
+                   rescales every era-scalable generator -- the evolving
+                   traffic-mix schedule
 =================  =========================================================
 
 All times are simulated seconds from scenario start.  The full authoring
@@ -94,6 +98,7 @@ from repro.scenarios.spec import (
     ScenarioSpec,
     ScenarioSpecError,
     TopologySpec,
+    TrafficEraSpec,
     WorkloadSpec,
 )
 
@@ -110,6 +115,7 @@ __all__ = [
     "ClientFleetSpec",
     "MobilitySpec",
     "WorkloadSpec",
+    "TrafficEraSpec",
     "ChainAssignmentSpec",
     "FaultSpec",
     "register_scenario",

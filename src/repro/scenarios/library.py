@@ -32,6 +32,7 @@ from repro.scenarios.spec import (
     MobilitySpec,
     ScenarioSpec,
     TopologySpec,
+    TrafficEraSpec,
     WorkloadSpec,
 )
 
@@ -1118,6 +1119,175 @@ def _upf_edge_vs_core(seed: int) -> ScenarioSpec:
         topology=TopologySpec(station_count=2, station_spacing_m=80.0),
         fleets=fleets,
         assignments=assignments,
+    )
+
+
+@register_scenario("pandemic-surge")
+def _pandemic_surge(seed: int) -> ScenarioSpec:
+    """Residential-shift soak: the traffic mix migrates from office to home.
+
+    Two cells -- an office cell and a residential cell -- run the same four
+    protocols (web, DNS, QUIC apps, ABR streaming) behind firewall + edge-
+    cache chains.  Three :class:`TrafficEraSpec` boundaries then replay a
+    compressed lockdown: office-hours web traffic collapses while QUIC app
+    sessions and ABR streaming surge, and the edge caches' hit mix shifts
+    with it.  No bulk workloads, so the digest is invariant across
+    ``simulation_mode`` as well as shard/region counts.
+    """
+    fleets = []
+    assignments = []
+    for name, x, count in (("office", 0.0, 2), ("residential", 80.0, 3)):
+        fleets.append(
+            ClientFleetSpec(
+                name=name,
+                count=count,
+                position=(x, 0.0),
+                spread_m=10.0,
+                workloads=[
+                    WorkloadSpec(
+                        kind="http",
+                        start_s=3.0,
+                        params={
+                            "sites": ["portal.example.com", "news.example.org"],
+                            "mean_think_time_s": 1.0,
+                        },
+                    ),
+                    WorkloadSpec(kind="dns", start_s=3.5, params={"query_interval_s": 2.0}),
+                    WorkloadSpec(
+                        kind="quic",
+                        start_s=4.0,
+                        params={"mean_gap_s": 1.5, "max_burst": 3},
+                    ),
+                    WorkloadSpec(
+                        kind="abr",
+                        start_s=5.0,
+                        params={
+                            "content": f"{name}-clip",
+                            "segment_duration_s": 2.0,
+                            "loop_segments": 5,
+                        },
+                    ),
+                ],
+            )
+        )
+        assignments.append(
+            ChainAssignmentSpec(fleet=name, nfs=["firewall", "cache"], attach_at_s=1.0)
+        )
+    return ScenarioSpec(
+        name="pandemic-surge",
+        description=(
+            "An office cell and a residential cell run web+DNS+QUIC+ABR "
+            "behind firewall + edge-cache chains while three era boundaries "
+            "replay a compressed lockdown: office web traffic collapses and "
+            "home QUIC/ABR streaming surges, shifting what the edge caches "
+            "absorb."
+        ),
+        seed=seed,
+        duration_s=90.0,
+        topology=TopologySpec(station_count=2, station_spacing_m=80.0),
+        fleets=fleets,
+        assignments=assignments,
+        eras=[
+            TrafficEraSpec(
+                at_s=0.0,
+                name="office-hours",
+                shares={"http": 0.40, "dns": 0.25, "quic": 0.25, "abr": 0.10},
+            ),
+            TrafficEraSpec(
+                at_s=30.0,
+                name="lockdown-shift",
+                shares={"http": 0.15, "dns": 0.10, "quic": 0.30, "abr": 0.45},
+            ),
+            TrafficEraSpec(
+                at_s=60.0,
+                name="evening-streaming",
+                shares={"http": 0.10, "dns": 0.05, "quic": 0.25, "abr": 0.60},
+            ),
+        ],
+    )
+
+
+@register_scenario("cache-vs-backhaul")
+def _cache_vs_backhaul(seed: int) -> ScenarioSpec:
+    """Cache-placement ablation: edge-served hits vs core-forwarded hits.
+
+    Mirrors ``upf-edge-vs-core``: two identical fleets behind identical
+    caches, except station-1's cache is ``placement="edge"`` (hits are
+    served at the station and never touch the uplink) and station-2's is
+    ``placement="core"`` (hits are *recorded* but every request is still
+    forwarded upstream).  The looping ABR playlists and small web URL set
+    make the caches actually hit, so the backhaul saving is physically
+    visible as the difference between the two stations' uplink byte
+    counters -- benchmark E16's workload.
+    """
+    fleets = []
+    assignments = []
+    for name, x, placement in (("edge", 0.0, "edge"), ("core", 80.0, "core")):
+        fleets.append(
+            ClientFleetSpec(
+                name=name,
+                count=2,
+                position=(x, 0.0),
+                spread_m=8.0,
+                workloads=[
+                    WorkloadSpec(
+                        kind="abr",
+                        start_s=3.0,
+                        params={
+                            "content": "popular-clip",
+                            "segment_duration_s": 1.0,
+                            "loop_segments": 4,
+                        },
+                    ),
+                    WorkloadSpec(
+                        kind="http",
+                        start_s=4.0,
+                        params={
+                            "sites": ["portal.example.com"],
+                            "mean_think_time_s": 0.8,
+                        },
+                    ),
+                    WorkloadSpec(
+                        kind="quic",
+                        start_s=5.0,
+                        params={"mean_gap_s": 2.0, "max_burst": 2},
+                    ),
+                ],
+            )
+        )
+        assignments.append(
+            ChainAssignmentSpec(
+                fleet=name,
+                nfs=[
+                    {
+                        "nf_type": "cache",
+                        "config": {"placement": placement, "capacity_mb": 8.0},
+                    }
+                ],
+                attach_at_s=1.0,
+            )
+        )
+    return ScenarioSpec(
+        name="cache-vs-backhaul",
+        description=(
+            "Two identical ABR+web+QUIC fleets behind identical edge caches, "
+            "except station-1's cache serves hits locally and station-2's "
+            "forwards everything upstream (placement ablation): the backhaul "
+            "saving shows up as the gap between the stations' uplink byte "
+            "counters under an ABR-heavy era."
+        ),
+        seed=seed,
+        duration_s=45.0,
+        topology=TopologySpec(station_count=2, station_spacing_m=80.0),
+        fleets=fleets,
+        assignments=assignments,
+        eras=[
+            TrafficEraSpec(
+                at_s=8.0,
+                name="abr-heavy",
+                shares={"abr": 0.60, "http": 0.25, "quic": 0.15},
+            ),
+        ],
     )
 
 

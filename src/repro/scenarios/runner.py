@@ -44,10 +44,12 @@ from repro.core.scheduler import TimeSchedule
 from repro.core.testbed import GNFTestbed, TestbedConfig
 from repro.netem.topology import StationProfile
 from repro.netem.trafficgen import (
+    ABRVideoGenerator,
     BulkTransferGenerator,
     CBRTrafficGenerator,
     DNSWorkloadGenerator,
     HTTPWorkloadGenerator,
+    QUICWorkloadGenerator,
     VideoWorkloadGenerator,
 )
 from repro.scenarios.digest import MetricsDigest
@@ -60,6 +62,7 @@ from repro.scenarios.spec import (
     MobilitySpec,
     ScenarioSpec,
     ScenarioSpecError,
+    TrafficEraSpec,
     WorkloadSpec,
 )
 from repro.wireless.mobility import (
@@ -220,6 +223,12 @@ class ScenarioRun:
             self.testbed, rng=random.Random(self.testbed.seed_for("faults"))
         )
         self.generators: Dict[str, object] = {}
+        #: Workload spec behind each generator (era scaling needs the kind).
+        self._generator_workloads: Dict[str, WorkloadSpec] = {}
+        #: Era currently in force (None until the first boundary fires) and
+        #: the applied-boundary log that feeds the digest's ``eras`` section.
+        self._current_era: Optional[TrafficEraSpec] = None
+        self._eras_applied: List[Dict[str, object]] = []
         self.mobilities: Dict[str, MobilityModel] = {}
         self.assignments: List[Tuple[str, Assignment]] = []
         self.attach_failures: List[str] = []
@@ -266,6 +275,8 @@ class ScenarioRun:
                 )
         for upgrade_spec in self.spec.upgrades:
             self._control(upgrade_spec.at_s, self._run_upgrade, upgrade_spec)
+        for era in self.spec.eras:
+            self._control(era.at_s, self._apply_era, era)
         self.faults.schedule_all(self.spec.faults)
 
     def _scatter(self, fleet: ClientFleetSpec, index: int) -> Tuple[float, float]:
@@ -336,6 +347,15 @@ class ScenarioRun:
         elif workload.kind == "video":
             params.setdefault("server_ip", self.testbed.server_ip)
             generator = VideoWorkloadGenerator(self.simulator, client, name=name, **params)
+        elif workload.kind == "quic":
+            params.setdefault("server_ip", self.testbed.server_ip)
+            params.setdefault("seed", self.testbed.seed_for("workload", client_name, workload_index))
+            generator = QUICWorkloadGenerator(self.simulator, client, name=name, **params)
+        elif workload.kind == "abr":
+            params.setdefault("server_ip", self.testbed.server_ip)
+            params.setdefault("seed", self.testbed.seed_for("workload", client_name, workload_index))
+            params.setdefault("src_port", 46_000 + client_index * 8 + workload_index)
+            generator = ABRVideoGenerator(self.simulator, client, name=name, **params)
         elif workload.kind == "bulk":
             params.setdefault("server_ip", self.testbed.server_ip)
             params.setdefault("total_bytes", 1_500_000.0)
@@ -350,9 +370,34 @@ class ScenarioRun:
         else:
             raise ValueError(f"unknown workload kind {workload.kind!r}")
         self.generators[name] = generator
+        self._generator_workloads[name] = workload
         generator.start()
+        # A generator spawned mid-era (staggered appearance) starts at the
+        # era's share for its kind, not at full native pace.
+        self._apply_era_to(name, generator)
         if workload.stop_s is not None:
             self._control(max(0.0, workload.stop_s - self.simulator.now), generator.stop)
+
+    # ------------------------------------------------------------ traffic eras
+
+    def _apply_era(self, era: TrafficEraSpec) -> None:
+        """Rescale every era-scalable generator at an era boundary."""
+        self._current_era = era
+        self._eras_applied.append(
+            {"at_s": era.at_s, "name": era.name, "shares": era.to_dict()["shares"]}
+        )
+        for name, generator in self.generators.items():
+            self._apply_era_to(name, generator)
+
+    def _apply_era_to(self, name: str, generator) -> None:
+        if self._current_era is None:
+            return
+        workload = self._generator_workloads.get(name)
+        if workload is None or not workload.era_scaled or workload.kind == "bulk":
+            return
+        intensity = self._current_era.intensity_for(workload.kind)
+        if intensity is not None:
+            generator.set_intensity(intensity)
 
     # ----------------------------------------------------------- attach/detach
 
@@ -679,6 +724,11 @@ class ScenarioRun:
             # counters and the per-upgrade records -- keyed by client_ip,
             # never by assignment id (process-global counter).
             "bundles": testbed.upgrades.telemetry(),
+            # Applied era boundaries (time, name, shares): purely spec-driven
+            # and client-side, so the section is identical across shard,
+            # region and placement knobs by construction -- but any drift in
+            # *when* the mix shifted flips the digest.
+            "eras": self._eras_applied,
             "attach_failures": sorted(self.attach_failures),
         }
 

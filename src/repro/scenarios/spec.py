@@ -16,7 +16,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 MOBILITY_MODELS = ("static", "linear", "waypoint", "commuter", "trace")
-WORKLOAD_KINDS = ("cbr", "http", "dns", "video", "bulk")
+WORKLOAD_KINDS = ("cbr", "http", "dns", "video", "bulk", "quic", "abr")
+#: Kinds a :class:`TrafficEraSpec` may scale.  ``bulk`` is excluded: its
+#: pacing is a byte-budget contract owned by the hybrid fluid core, and
+#: scaling it would break packet/hybrid digest equivalence.
+ERA_SCALABLE_KINDS = ("cbr", "http", "dns", "video", "quic", "abr")
 SIMULATION_MODES = ("packet", "hybrid")
 FAULT_KINDS = ("station-crash", "link-degrade", "link-down", "container-oom")
 STATION_PROFILES = ("router", "server")
@@ -82,15 +86,19 @@ class WorkloadSpec:
     """One traffic generator attached to every client of a fleet.
 
     ``kind`` selects the generator from :mod:`repro.netem.trafficgen`
-    (``cbr``/``http``/``dns``/``video``); ``params`` holds its constructor
-    keywords (``rate_pps``, ``mean_think_time_s``, ``names`` ...).  The
-    generator starts at ``start_s`` and, when ``stop_s`` is set, stops there.
-    Seeded generators derive per-client seeds from the master seed.
+    (``cbr``/``http``/``dns``/``video``/``quic``/``abr``/``bulk``);
+    ``params`` holds its constructor keywords (``rate_pps``,
+    ``mean_think_time_s``, ``names`` ...).  The generator starts at
+    ``start_s`` and, when ``stop_s`` is set, stops there.  Seeded generators
+    derive per-client seeds from the master seed.  ``era_scaled`` opts the
+    generator out of :class:`TrafficEraSpec` intensity scaling when False
+    (bulk workloads are never era-scaled regardless).
     """
 
     kind: str = "cbr"
     start_s: float = 0.0
     stop_s: Optional[float] = None
+    era_scaled: bool = True
     params: Dict[str, Any] = field(default_factory=dict)
 
     def validate(self) -> None:
@@ -102,7 +110,69 @@ class WorkloadSpec:
             raise ScenarioSpecError(f"workload stop_s ({self.stop_s}) must be after start_s ({self.start_s})")
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"kind": self.kind, "start_s": self.start_s, "stop_s": self.stop_s, "params": _as_dict(self.params)}
+        return {
+            "kind": self.kind,
+            "start_s": self.start_s,
+            "stop_s": self.stop_s,
+            "era_scaled": self.era_scaled,
+            "params": _as_dict(self.params),
+        }
+
+
+@dataclass
+class TrafficEraSpec:
+    """One step of a piecewise per-protocol traffic-share schedule.
+
+    At ``at_s`` the scenario's generators are rescaled so every workload
+    kind named in ``shares`` offers ``share * len(shares)`` of its native
+    load -- a *uniform* share map (``1/n`` each) is behaviour-neutral, while
+    a skewed one shifts the mix (e.g. the residential evening surge towards
+    ABR video and QUIC).  A share of 0 pauses that kind's generators until a
+    later era resumes them; kinds absent from the map keep their current
+    intensity.  Shares must sum to 1 at every era boundary (a *mix*, not an
+    absolute load knob) and only :data:`ERA_SCALABLE_KINDS` may appear --
+    ``bulk`` byte budgets are contracts the eras must not touch.
+    """
+
+    at_s: float
+    shares: Dict[str, float] = field(default_factory=dict)
+    name: str = ""
+
+    def validate(self) -> None:
+        if self.at_s < 0:
+            raise ScenarioSpecError(f"era at_s must be >= 0, got {self.at_s}")
+        if not self.shares:
+            raise ScenarioSpecError("era shares must be non-empty")
+        for kind, share in self.shares.items():
+            if kind not in ERA_SCALABLE_KINDS:
+                raise ScenarioSpecError(
+                    f"era shares name non-scalable kind {kind!r}; valid: {ERA_SCALABLE_KINDS}"
+                )
+            if share < 0:
+                raise ScenarioSpecError(f"era share for {kind!r} must be >= 0, got {share}")
+        total = sum(self.shares.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ScenarioSpecError(
+                f"era shares must sum to 1.0, got {total} (era at_s={self.at_s})"
+            )
+
+    def intensity_for(self, kind: str) -> Optional[float]:
+        """Generator intensity for ``kind`` (None = era does not touch it).
+
+        Normalised so uniform shares map to intensity 1.0 for every kind:
+        the era reshapes the *mix* without changing the aggregate load a
+        uniform split would offer.
+        """
+        if kind not in self.shares:
+            return None
+        return self.shares[kind] * len(self.shares)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "at_s": self.at_s,
+            "shares": {kind: self.shares[kind] for kind in sorted(self.shares)},
+            "name": self.name,
+        }
 
 
 @dataclass
@@ -569,6 +639,9 @@ class ScenarioSpec:
     bundles: List[BundleAssignmentSpec] = field(default_factory=list)
     upgrades: List[BundleUpgradeSpec] = field(default_factory=list)
     faults: List[FaultSpec] = field(default_factory=list)
+    #: Piecewise traffic-share schedule (strictly increasing ``at_s``); the
+    #: runner rescales era-scalable generators at every boundary.
+    eras: List[TrafficEraSpec] = field(default_factory=list)
 
     def validate(self) -> "ScenarioSpec":
         if not self.name:
@@ -611,6 +684,15 @@ class ScenarioSpec:
                     f"fault targets station {fault.station} but the topology only has "
                     f"{self.topology.station_count} stations"
                 )
+        previous_at: Optional[float] = None
+        for era in self.eras:
+            era.validate()
+            if previous_at is not None and era.at_s <= previous_at:
+                raise ScenarioSpecError(
+                    f"era boundaries must be strictly increasing, got {era.at_s} "
+                    f"after {previous_at}"
+                )
+            previous_at = era.at_s
         return self
 
     def fleet(self, name: str) -> ClientFleetSpec:
@@ -637,4 +719,5 @@ class ScenarioSpec:
             "bundles": [bundle.to_dict() for bundle in self.bundles],
             "upgrades": [upgrade.to_dict() for upgrade in self.upgrades],
             "faults": [fault.to_dict() for fault in self.faults],
+            "eras": [era.to_dict() for era in self.eras],
         }

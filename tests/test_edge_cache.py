@@ -1,0 +1,380 @@
+"""EdgeCache semantics: eviction order, TTL, accounting, migration.
+
+The promoted cache's contract (documented in ``repro/nfs/cache.py``):
+
+* TTL is **absolute** -- an object expires ``ttl_s`` after ``stored_at``
+  and a hit never extends its lifetime; hits update only ``last_hit_at``
+  and the per-object hit count, which order *eviction* (LFU, LRU
+  tie-break), not expiry.
+* Expiry purges count as ``expirations``; only capacity-pressure
+  removals count as ``evictions``.
+* Admission is size-aware and per-protocol; QUIC is opaque and counts
+  as an (uncacheable) miss so the hit rate tracks the traffic mix.
+* ``placement="core"`` records hits but forwards every request upstream
+  with zero ``backhaul_bytes_saved``.
+* The whole cache -- objects and counters -- survives an export/import
+  round trip, so a migrating client keeps its warm cache.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netem import packet as pkt
+from repro.nfs.base import Direction, ProcessingContext
+from repro.nfs.cache import EdgeCache, _RESPONSE_OVERHEAD_BYTES
+
+CLIENT = "10.10.0.5"
+SERVER = "10.30.0.2"
+
+
+def ctx(direction=Direction.UPSTREAM, now=0.0):
+    return ProcessingContext(
+        now=now, direction=direction, client_ip=CLIENT, station_name="station-1"
+    )
+
+
+def request(path="/x", host="cdn.example.com", protocol=None):
+    packet = pkt.make_http_request(src_ip=CLIENT, dst_ip=SERVER, host=host, path=path)
+    if protocol is not None:
+        packet.metadata["app_protocol"] = protocol
+    return packet
+
+
+def fill(cache, path, body_bytes, now=0.0, status=200, protocol=None):
+    """Miss + store one object; returns the request packet."""
+    req = request(path, protocol=protocol)
+    cache.process(req, ctx(now=now))
+    response = pkt.make_http_response(req, status=status, body_bytes=body_bytes)
+    if protocol is not None:
+        response.metadata["app_protocol"] = protocol
+    cache.process(response, ctx(Direction.DOWNSTREAM, now=now))
+    return req
+
+
+def hit(cache, path, now):
+    outputs = cache.process(request(path), ctx(now=now))
+    return outputs[0].app.headers.get("X-Cache") == "HIT" if hasattr(
+        outputs[0].app, "headers"
+    ) else False
+
+
+# --------------------------------------------------------------------------
+# TTL semantics: absolute freshness, hits never extend
+# --------------------------------------------------------------------------
+
+
+def test_ttl_runs_from_insertion_not_last_hit():
+    cache = EdgeCache(ttl_s=10.0)
+    fill(cache, "/obj", 1_000, now=0.0)
+    # Hit at t=9: well within TTL...
+    assert hit(cache, "/obj", now=9.0)
+    # ...but freshness is stored_at-based: the t=9 hit must NOT have pushed
+    # expiry to t=19.  At t=11 the object is stale and the request forwards.
+    assert not hit(cache, "/obj", now=11.0)
+    assert cache.expirations == 1
+    assert cache.evictions == 0
+    assert cache.object_count == 0
+
+
+def test_refresh_resets_ttl_clock():
+    cache = EdgeCache(ttl_s=10.0)
+    fill(cache, "/obj", 1_000, now=0.0)
+    fill(cache, "/obj", 1_000, now=8.0)  # re-store refreshes stored_at
+    assert hit(cache, "/obj", now=15.0)  # 7 s after refresh: still fresh
+
+
+def test_expired_on_insert_pressure_counts_as_expiration():
+    cache = EdgeCache(ttl_s=5.0, capacity_mb=0.01, max_object_fraction=1.0)  # 10 kB
+    fill(cache, "/old", 6_000, now=0.0)
+    # At t=20 /old is stale; inserting /new needs room.  The stale object is
+    # purged as an expiration, never as a capacity eviction.
+    fill(cache, "/new", 6_000, now=20.0)
+    assert cache.expirations == 1
+    assert cache.evictions == 0
+    assert cache.object_count == 1
+
+
+# --------------------------------------------------------------------------
+# Eviction order: LFU first, LRU tie-break
+# --------------------------------------------------------------------------
+
+
+def test_eviction_removes_least_frequently_hit():
+    cache = EdgeCache(capacity_mb=0.01, ttl_s=1e9, max_object_fraction=0.5)  # 10 kB, 3 objects fit
+    fill(cache, "/a", 3_000, now=0.0)
+    fill(cache, "/b", 3_000, now=1.0)
+    fill(cache, "/c", 3_000, now=2.0)
+    # /a gets two hits, /c one, /b none.
+    hit(cache, "/a", now=3.0)
+    hit(cache, "/a", now=4.0)
+    hit(cache, "/c", now=5.0)
+    fill(cache, "/d", 3_000, now=6.0)  # overflow: one victim needed
+    assert cache.evictions == 1
+    paths = {entry["url"] for entry in cache.export_state()["objects"]}
+    assert not any(path.endswith("/b") for path in paths)  # LFU victim
+    assert any(path.endswith("/a") for path in paths)
+    assert any(path.endswith("/c") for path in paths)
+
+
+def test_eviction_ties_break_least_recently_hit():
+    cache = EdgeCache(capacity_mb=0.01, ttl_s=1e9, max_object_fraction=0.6)
+    fill(cache, "/a", 3_000, now=0.0)
+    fill(cache, "/b", 3_000, now=1.0)
+    fill(cache, "/c", 3_000, now=2.0)
+    # Equal hit counts (one each); /a touched least recently.  Refreshing
+    # /c to a bigger body (hit count preserved) forces the overflow, so the
+    # tie among equally-hit residents is broken by least-recently-hit.
+    hit(cache, "/a", now=3.0)
+    hit(cache, "/b", now=4.0)
+    hit(cache, "/c", now=5.0)
+    fill(cache, "/c", 6_000, now=6.0)
+    paths = {entry["url"] for entry in cache.export_state()["objects"]}
+    assert not any(path.endswith("/a") for path in paths)  # LRU tie-break
+    assert any(path.endswith("/b") for path in paths)
+    assert any(path.endswith("/c") for path in paths)
+
+
+def test_never_hit_objects_degrade_to_lru():
+    # hits=0 for all: tie-break on last_hit_at (== insertion time) is LRU.
+    cache = EdgeCache(capacity_mb=0.01, ttl_s=1e9, max_object_fraction=0.5)
+    fill(cache, "/first", 3_000, now=0.0)
+    fill(cache, "/second", 3_000, now=1.0)
+    fill(cache, "/third", 3_000, now=2.0)
+    fill(cache, "/fourth", 3_000, now=3.0)
+    paths = {entry["url"] for entry in cache.export_state()["objects"]}
+    assert not any(path.endswith("/first") for path in paths)
+
+
+# --------------------------------------------------------------------------
+# Capacity accounting and admission
+# --------------------------------------------------------------------------
+
+
+def test_capacity_accounting_tracks_stores_hits_and_evictions():
+    cache = EdgeCache(capacity_mb=0.1, ttl_s=1e9, max_object_fraction=1.0)
+    fill(cache, "/a", 40_000, now=0.0)
+    assert cache.used_mb == pytest.approx(0.04)
+    fill(cache, "/b", 40_000, now=1.0)
+    assert cache.used_mb == pytest.approx(0.08)
+    hit(cache, "/a", now=2.0)  # hits do not change occupancy
+    assert cache.used_mb == pytest.approx(0.08)
+    fill(cache, "/a", 10_000, now=3.0)  # refresh replaces, never double-counts
+    assert cache.used_mb == pytest.approx(0.05)
+    assert cache.object_count == 2
+    fill(cache, "/c", 60_000, now=4.0)  # overflow evicts down to capacity
+    assert cache.used_mb <= 0.1 + 1e-9
+    assert cache.evictions >= 1
+
+
+def test_admission_rejects_oversized_objects():
+    cache = EdgeCache(capacity_mb=1.0, max_object_fraction=0.25)
+    assert cache.max_object_bytes == 250_000
+    fill(cache, "/elephant", 300_000, now=0.0)
+    assert cache.object_count == 0
+    assert cache.admission_rejects == 1
+    assert cache.used_mb == 0.0
+    fill(cache, "/mouse", 200_000, now=1.0)
+    assert cache.object_count == 1
+
+
+def test_error_statuses_not_admitted():
+    cache = EdgeCache()
+    fill(cache, "/err", 1_000, status=503)
+    assert cache.object_count == 0
+    assert cache.admission_rejects == 0  # status filter, not a size reject
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        EdgeCache(capacity_mb=0)
+    with pytest.raises(ValueError):
+        EdgeCache(max_object_fraction=0.0)
+    with pytest.raises(ValueError):
+        EdgeCache(placement="cloud")
+
+
+# --------------------------------------------------------------------------
+# Per-protocol cacheability
+# --------------------------------------------------------------------------
+
+
+def test_quic_is_opaque_but_counted():
+    cache = EdgeCache()
+    req = request("/q", protocol="quic")
+    outputs = cache.process(req, ctx())
+    assert outputs == [req]  # passed through untouched
+    assert cache.uncacheable_requests == 1
+    assert cache.misses == 1
+    response = pkt.make_http_response(req, body_bytes=1_000)
+    response.metadata["app_protocol"] = "quic"
+    cache.process(response, ctx(Direction.DOWNSTREAM))
+    assert cache.object_count == 0  # never stored
+    # A second identical request is still a miss: hit rate tracks the mix.
+    cache.process(request("/q", protocol="quic"), ctx(now=1.0))
+    assert cache.hit_ratio() == 0.0
+
+
+def test_abr_segments_are_cacheable():
+    cache = EdgeCache()
+    fill(cache, "/clip/seg-1-500000.m4s", 125_000, protocol="abr")
+    req = request("/clip/seg-1-500000.m4s", protocol="abr")
+    outputs = cache.process(req, ctx(now=1.0))
+    assert outputs[0].app.headers.get("X-Cache") == "HIT"
+    assert cache.hits == 1
+
+
+# --------------------------------------------------------------------------
+# Placement ablation
+# --------------------------------------------------------------------------
+
+
+def test_edge_placement_serves_locally_and_accounts_backhaul():
+    cache = EdgeCache(placement="edge")
+    fill(cache, "/obj", 10_000)
+    outputs = cache.process(request("/obj"), ctx(now=1.0))
+    assert isinstance(outputs[0].app, pkt.HTTPResponse)
+    assert outputs[0].ip.dst == CLIENT  # turned around at the station
+    assert cache.bytes_served_from_cache == 10_000
+    assert cache.backhaul_bytes_saved == 10_000 + _RESPONSE_OVERHEAD_BYTES
+
+
+def test_core_placement_records_hit_but_forwards_upstream():
+    cache = EdgeCache(placement="core")
+    fill(cache, "/obj", 10_000)
+    req = request("/obj")
+    outputs = cache.process(req, ctx(now=1.0))
+    assert outputs == [req]  # still crosses the uplink
+    assert isinstance(outputs[0].app, pkt.HTTPRequest)
+    assert cache.hits == 1
+    assert cache.bytes_served_from_cache == 10_000
+    assert cache.backhaul_bytes_saved == 0
+
+
+# --------------------------------------------------------------------------
+# Export/import: warm-cache migration (seeded property tests)
+# --------------------------------------------------------------------------
+
+
+def test_roundtrip_preserves_objects_and_counters():
+    cache = EdgeCache(capacity_mb=0.5, ttl_s=60.0, placement="core")
+    fill(cache, "/a", 10_000, now=0.0)
+    fill(cache, "/b", 20_000, now=1.0)
+    hit(cache, "/a", now=2.0)
+    cache.process(request("/q", protocol="quic"), ctx(now=3.0))
+    fill(cache, "/elephant", 200_000, now=4.0)
+    clone = EdgeCache()
+    clone.import_state(cache.export_state())
+    assert clone.capacity_mb == cache.capacity_mb
+    assert clone.ttl_s == cache.ttl_s
+    assert clone.placement == "core"
+    assert clone.object_count == cache.object_count
+    assert clone.used_mb == pytest.approx(cache.used_mb)
+    for counter in (
+        "hits",
+        "misses",
+        "evictions",
+        "expirations",
+        "admission_rejects",
+        "uncacheable_requests",
+        "bytes_served_from_cache",
+        "backhaul_bytes_saved",
+    ):
+        assert getattr(clone, counter) == getattr(cache, counter), counter
+    assert clone.hit_ratio() == pytest.approx(cache.hit_ratio())
+
+
+def test_roundtrip_preserves_ttl_and_eviction_ordering():
+    cache = EdgeCache(ttl_s=10.0, capacity_mb=0.01, max_object_fraction=1.0)
+    fill(cache, "/hot", 3_000, now=0.0)
+    fill(cache, "/cold", 3_000, now=1.0)
+    hit(cache, "/hot", now=2.0)
+    clone = EdgeCache()
+    clone.import_state(cache.export_state())
+    # TTL clock survives: /hot stored at t=0 expires at t>10 on the clone.
+    assert not hit(clone, "/hot", now=11.0)
+    assert clone.expirations == cache.expirations + 1
+    # Eviction ordering survives: /cold (never hit) is the next victim.
+    clone2 = EdgeCache()
+    clone2.import_state(cache.export_state())
+    fill(clone2, "/new", 6_000, now=3.0)
+    paths = {entry["url"] for entry in clone2.export_state()["objects"]}
+    assert not any(path.endswith("/cold") for path in paths)
+    assert any(path.endswith("/hot") for path in paths)
+
+
+def _random_workload(cache, rng, start_now=0.0, steps=120):
+    """Drive a random mix of stores/hits/expiries; return the final now."""
+    now = start_now
+    paths = [f"/obj{i}" for i in range(8)]
+    for _ in range(steps):
+        now += rng.uniform(0.1, 3.0)
+        path = rng.choice(paths)
+        action = rng.random()
+        if action < 0.55:
+            cache.process(request(path), ctx(now=now))
+        elif action < 0.9:
+            fill(cache, path, rng.randrange(1_000, 30_000), now=now)
+        else:
+            cache.process(request(path, protocol="quic"), ctx(now=now))
+    return now
+
+
+@pytest.mark.parametrize("case_seed", range(8))
+def test_warm_cache_migration_preserves_future_hit_rate(case_seed):
+    """Property: a migrated (exported+imported) cache behaves identically.
+
+    The same post-migration request sequence must produce the same hits,
+    misses, expirations and evictions on the migrated clone as it would
+    have on the original -- byte-for-byte warm-cache semantics.
+    """
+    rng = random.Random(1000 + case_seed)
+    cache = EdgeCache(capacity_mb=0.05, ttl_s=20.0)
+    handover_at = _random_workload(cache, rng, steps=80)
+    clone = EdgeCache()
+    clone.import_state(cache.export_state())
+
+    replay_seed = rng.randrange(2**32)
+    final_a = _random_workload(cache, random.Random(replay_seed), start_now=handover_at)
+    final_b = _random_workload(clone, random.Random(replay_seed), start_now=handover_at)
+    assert final_a == final_b
+    for counter in ("hits", "misses", "expirations", "evictions", "uncacheable_requests"):
+        assert getattr(clone, counter) == getattr(cache, counter), counter
+    assert clone.hit_ratio() == pytest.approx(cache.hit_ratio())
+    assert clone.used_mb == pytest.approx(cache.used_mb)
+
+
+@pytest.mark.parametrize("case_seed", range(4))
+def test_counters_survive_iterative_precopy(case_seed):
+    """Property: repeated export/import rounds (pre-copy) are lossless.
+
+    Iterative pre-copy exports the cache several times while it keeps
+    serving; every intermediate import must equal a fresh import of the
+    same snapshot, and the final round must carry the complete ledger.
+    """
+    rng = random.Random(2000 + case_seed)
+    cache = EdgeCache(capacity_mb=0.05, ttl_s=30.0)
+    replica = EdgeCache()
+    now = 0.0
+    for _ in range(3):  # three pre-copy rounds with dirtying between them
+        replica.import_state(cache.export_state())
+        now = _random_workload(cache, rng, start_now=now, steps=30)
+    replica.import_state(cache.export_state())  # final (freeze) round
+    assert replica.object_count == cache.object_count
+    assert replica.used_mb == pytest.approx(cache.used_mb)
+    for counter in (
+        "hits",
+        "misses",
+        "evictions",
+        "expirations",
+        "admission_rejects",
+        "uncacheable_requests",
+        "bytes_served_from_cache",
+        "backhaul_bytes_saved",
+    ):
+        assert getattr(replica, counter) == getattr(cache, counter), counter
+    exported = {entry["url"]: entry for entry in cache.export_state()["objects"]}
+    imported = {entry["url"]: entry for entry in replica.export_state()["objects"]}
+    assert exported == imported

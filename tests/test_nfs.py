@@ -447,7 +447,9 @@ def test_cache_respects_ttl():
 
 
 def test_cache_evicts_lru_when_full():
-    cache = EdgeCache(capacity_mb=0.1)  # 100 kB
+    # max_object_fraction=0.5 lets the 40 kB objects past size-aware
+    # admission (the 0.25 default would reject them outright).
+    cache = EdgeCache(capacity_mb=0.1, max_object_fraction=0.5)  # 100 kB
     for index in range(5):
         request = http_request(host="a.com", path=f"/obj{index}")
         cache.process(request, ctx())

@@ -1,0 +1,231 @@
+"""Traffic eras: spec validation, replay invariance, drain properties.
+
+``TrafficEraSpec`` shifts the per-protocol traffic mix over scenario time
+by driving every era-scalable generator's intensity knob.  The applied-era
+log is digested client-side, so the digest of an era-driven scenario must
+stay byte-identical across control-plane sharding, federation region
+count and (bulk-free scenarios) the packet/hybrid engine choice -- the
+full replay matrix is asserted here for both new canned scenarios.  The
+property tests drive random era schedules through random small scenarios
+and require a clean drain (``pending_events == 0``) every time.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.scenarios import (
+    ChainAssignmentSpec,
+    ClientFleetSpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    ScenarioSpecError,
+    TopologySpec,
+    TrafficEraSpec,
+    WorkloadSpec,
+    build_scenario,
+    run_scenario,
+    scenario_has_bulk,
+)
+from repro.scenarios.spec import ERA_SCALABLE_KINDS
+
+# --------------------------------------------------------------------------
+# TrafficEraSpec validation and intensity math
+# --------------------------------------------------------------------------
+
+
+def test_era_shares_must_sum_to_one():
+    TrafficEraSpec(at_s=0.0, shares={"http": 0.5, "abr": 0.5}).validate()
+    with pytest.raises(ScenarioSpecError):
+        TrafficEraSpec(at_s=0.0, shares={"http": 0.5, "abr": 0.4}).validate()
+    with pytest.raises(ScenarioSpecError):
+        TrafficEraSpec(at_s=0.0, shares={"http": 1.2, "abr": -0.2}).validate()
+
+
+def test_era_rejects_bad_fields():
+    with pytest.raises(ScenarioSpecError):
+        TrafficEraSpec(at_s=-1.0, shares={"http": 1.0}).validate()
+    with pytest.raises(ScenarioSpecError):
+        TrafficEraSpec(at_s=0.0, shares={}).validate()
+    with pytest.raises(ScenarioSpecError):
+        TrafficEraSpec(at_s=0.0, shares={"carrier-pigeon": 1.0}).validate()
+    with pytest.raises(ScenarioSpecError):
+        # bulk is a byte-budget contract, not an era-scalable share.
+        TrafficEraSpec(at_s=0.0, shares={"bulk": 1.0}).validate()
+
+
+def test_era_intensity_math():
+    era = TrafficEraSpec(at_s=0.0, shares={"http": 0.5, "abr": 0.3, "dns": 0.2})
+    # intensity = share * kind count, so uniform shares are neutral.
+    assert era.intensity_for("http") == pytest.approx(1.5)
+    assert era.intensity_for("abr") == pytest.approx(0.9)
+    assert era.intensity_for("dns") == pytest.approx(0.6)
+    assert era.intensity_for("quic") is None  # absent kinds untouched
+    uniform = TrafficEraSpec(at_s=0.0, shares={"http": 0.5, "dns": 0.5})
+    assert uniform.intensity_for("http") == pytest.approx(1.0)
+
+
+def test_scenario_requires_increasing_era_times():
+    spec = ScenarioSpec(
+        name="bad-eras",
+        seed=0,
+        duration_s=10.0,
+        topology=TopologySpec(station_count=1),
+        fleets=[
+            ClientFleetSpec(
+                name="f",
+                count=1,
+                position=(0.0, 0.0),
+                workloads=[WorkloadSpec(kind="http", start_s=1.0)],
+            )
+        ],
+        eras=[
+            TrafficEraSpec(at_s=5.0, shares={"http": 1.0}),
+            TrafficEraSpec(at_s=5.0, shares={"http": 1.0}),
+        ],
+    )
+    with pytest.raises(ScenarioSpecError):
+        spec.validate()
+
+
+def test_canned_scenarios_carry_valid_eras():
+    for name in ("pandemic-surge", "cache-vs-backhaul"):
+        spec = build_scenario(name, seed=0)
+        assert spec.eras, name
+        assert not scenario_has_bulk(spec), name  # sim-mode invariant by design
+        for era in spec.eras:
+            assert sum(era.shares.values()) == pytest.approx(1.0)
+            assert set(era.shares) <= set(ERA_SCALABLE_KINDS)
+
+
+# --------------------------------------------------------------------------
+# Replay invariance: region x shard x sim-mode, both new scenarios
+# --------------------------------------------------------------------------
+
+_MATRIX = [
+    (regions, shards, mode)
+    for regions in (1, 2)
+    for shards in (1, 4)
+    for mode in ("packet", "hybrid")
+    if (regions, shards, mode) != (1, 1, "packet")
+]
+
+
+@pytest.fixture(scope="module")
+def era_scenario_baselines():
+    return {
+        name: run_scenario(name, seed=7).digest.hexdigest
+        for name in ("pandemic-surge", "cache-vs-backhaul")
+    }
+
+
+@pytest.mark.parametrize("scenario", ["pandemic-surge", "cache-vs-backhaul"])
+@pytest.mark.parametrize("regions,shards,mode", _MATRIX)
+def test_era_scenarios_digest_invariant(
+    era_scenario_baselines, scenario, regions, shards, mode
+):
+    result = run_scenario(
+        scenario,
+        seed=7,
+        region_count=regions,
+        shard_count=shards,
+        simulation_mode=mode,
+    )
+    assert result.drained and result.pending_events_after_teardown == 0
+    assert result.digest.hexdigest == era_scenario_baselines[scenario], (
+        scenario,
+        regions,
+        shards,
+        mode,
+    )
+
+
+def test_eras_are_part_of_the_digest():
+    """Same scenario with a different era schedule must digest differently."""
+    with_eras = run_scenario("cache-vs-backhaul", seed=5)
+    spec = build_scenario("cache-vs-backhaul", seed=5)
+    spec.eras = []
+    without = ScenarioRunner(spec).run()
+    assert with_eras.digest.hexdigest != without.digest.hexdigest
+
+
+# --------------------------------------------------------------------------
+# Property: random era schedules always drain
+# --------------------------------------------------------------------------
+
+
+def random_era_schedule(rng: random.Random, duration_s: float):
+    """A random valid era schedule: increasing times, shares summing to 1."""
+    eras = []
+    at_s = 0.0
+    for _ in range(rng.randint(1, 4)):
+        kinds = rng.sample(list(ERA_SCALABLE_KINDS), rng.randint(1, 4))
+        weights = [rng.uniform(0.05, 1.0) for _ in kinds]
+        total = sum(weights)
+        shares = {kind: weight / total for kind, weight in zip(kinds, weights)}
+        # Float dust: pin the last share so the sum is exactly 1.
+        last = kinds[-1]
+        shares[last] = 1.0 - sum(value for kind, value in shares.items() if kind != last)
+        eras.append(TrafficEraSpec(at_s=at_s, shares=shares, name=f"era-{len(eras)}"))
+        at_s += rng.uniform(3.0, duration_s / 2.0)
+        if at_s >= duration_s:
+            break
+    return eras
+
+
+def random_era_spec(rng: random.Random, case: int) -> ScenarioSpec:
+    duration_s = rng.uniform(12.0, 25.0)
+    workload_kinds = rng.sample(["http", "dns", "quic", "abr", "cbr"], rng.randint(1, 3))
+    workloads = []
+    for kind in workload_kinds:
+        params = {}
+        if kind == "abr":
+            params = {"segment_duration_s": 1.0, "loop_segments": 3}
+        if kind == "quic":
+            params = {"mean_gap_s": 0.8}
+        if kind == "cbr":
+            params = {"rate_pps": 15.0}
+        workloads.append(
+            WorkloadSpec(
+                kind=kind,
+                start_s=rng.uniform(0.5, 3.0),
+                params=params,
+                era_scaled=rng.random() < 0.9,
+            )
+        )
+    return ScenarioSpec(
+        name=f"era-prop-{case}",
+        seed=rng.randrange(2**31),
+        duration_s=duration_s,
+        topology=TopologySpec(station_count=rng.randint(1, 2)),
+        fleets=[
+            ClientFleetSpec(
+                name="fleet",
+                count=rng.randint(1, 2),
+                position=(rng.uniform(0.0, 20.0), 0.0),
+                workloads=workloads,
+            )
+        ],
+        assignments=(
+            [ChainAssignmentSpec(fleet="fleet", nfs=["cache"], attach_at_s=1.0)]
+            if rng.random() < 0.5
+            else []
+        ),
+        eras=random_era_schedule(rng, duration_s),
+    )
+
+
+@pytest.mark.parametrize("case", range(6))
+def test_random_era_schedules_drain_clean(case):
+    rng = random.Random(4200 + case)
+    spec = random_era_spec(rng, case).validate()
+    for era in spec.eras:
+        assert sum(era.shares.values()) == pytest.approx(1.0)
+    result = ScenarioRunner(spec).run()
+    assert result.drained, f"case {case} (seed {spec.seed}) did not drain"
+    assert result.pending_events_after_teardown == 0
+    # Replays byte-identically, eras included.
+    again = ScenarioRunner(random_era_spec(random.Random(4200 + case), case).validate()).run()
+    assert again.digest.hexdigest == result.digest.hexdigest
